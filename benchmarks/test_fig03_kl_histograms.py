@@ -1,0 +1,27 @@
+"""Figure 3 — KL-divergence histograms of the benchmark set w.r.t. w0 and w1."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import figure3_kl_histograms
+
+
+def test_fig03_kl_histograms(benchmark, bench_set, report):
+    result = run_once(
+        benchmark, lambda: figure3_kl_histograms(bench_set, reference_indices=(0, 1), bins=16)
+    )
+    assert set(result) == {"w0", "w1"}
+    # The paper's observation: the uniform reference w0 produces a tight
+    # histogram near zero, the highly skewed w1 spreads out to divergences > 1.
+    assert result["w0"]["mean"][0] < result["w1"]["mean"][0]
+
+    lines = ["Figure 3: histogram of I_KL(w_hat, w) over the benchmark set B"]
+    for name, data in result.items():
+        lines.append(f"\nreference {name} (mean divergence {data['mean'][0]:.3f})")
+        edges = data["bin_edges"]
+        for i, density in enumerate(data["density"]):
+            bar = "#" * int(round(40 * density / max(data["density"].max(), 1e-9)))
+            lines.append(f"  [{edges[i]:.2f}, {edges[i + 1]:.2f}) {density:6.3f} {bar}")
+    text = "\n".join(lines)
+    report("fig03_kl_histograms", text)
+    print("\n" + text)

@@ -1,0 +1,29 @@
+"""Figure 4 — average delta throughput per expected-workload category vs ρ."""
+
+from conftest import RHO_VALUES, run_once
+
+from repro.analysis import figure4_delta_by_category
+
+
+def test_fig04_delta_by_category(benchmark, catalog, bench_set, report):
+    result = run_once(
+        benchmark,
+        lambda: figure4_delta_by_category(catalog, bench_set, rhos=RHO_VALUES),
+    )
+    assert set(result) == {"uniform", "unimodal", "bimodal", "trimodal"}
+
+    # Paper shape: unimodal/bimodal/trimodal categories gain substantially
+    # from robust tuning for rho >= 0.5, the uniform category does not.
+    for category in ("unimodal", "bimodal", "trimodal"):
+        assert result[category][1.0] > 0.2
+    assert result["uniform"][1.0] < result["trimodal"][1.0]
+
+    lines = ["Figure 4: mean delta throughput Delta(Phi_N, Phi_R) by category"]
+    header = f"{'category':<12}" + "".join(f"rho={rho:<8g}" for rho in RHO_VALUES)
+    lines.append(header)
+    for category, per_rho in result.items():
+        row = f"{category:<12}" + "".join(f"{per_rho[rho]:<12.3f}" for rho in RHO_VALUES)
+        lines.append(row)
+    text = "\n".join(lines)
+    report("fig04_delta_by_category", text)
+    print("\n" + text)

@@ -1,0 +1,39 @@
+"""Figure 5 — impact of ρ on delta throughput vs observed KL divergence (w11)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import figure5_rho_impact
+
+
+def test_fig05_rho_impact_w11(benchmark, catalog, bench_set, report):
+    rhos = (0.0, 0.25, 1.0, 2.0)
+    result = run_once(
+        benchmark,
+        lambda: figure5_rho_impact(catalog, bench_set, expected_index=11, rhos=rhos),
+    )
+    assert set(result) == set(rhos)
+
+    # Paper shape: at rho=0 the robust tuning matches the nominal; for larger
+    # rho the advantage on high-divergence workloads grows.
+    assert np.abs(np.median(result[0.0]["delta"])) < 0.25
+    high_kl_gain = {
+        rho: float(np.mean(result[rho]["delta"][result[rho]["kl"] > 1.0]))
+        for rho in (0.25, 1.0, 2.0)
+    }
+    assert high_kl_gain[1.0] > 0.0
+
+    lines = ["Figure 5: delta throughput vs I_KL(w_hat, w11) for increasing rho"]
+    for rho in rhos:
+        data = result[rho]
+        kl, delta = data["kl"], data["delta"]
+        lines.append(f"\nrho = {rho:g}  robust tuning: {data['tuning']}")
+        lines.append(f"{'KL bin':<16}{'mean delta':<12}{'samples':<8}")
+        edges = np.linspace(0.0, 4.0, 9)
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            mask = (kl >= lo) & (kl < hi)
+            if mask.any():
+                lines.append(f"[{lo:.1f}, {hi:.1f})      {np.mean(delta[mask]):<12.3f}{int(mask.sum()):<8}")
+    text = "\n".join(lines)
+    report("fig05_rho_impact", text)
+    print("\n" + text)

@@ -1,0 +1,52 @@
+"""Figure 6 — throughput histograms (6a) and throughput range Θ_B vs ρ (6b)."""
+
+import numpy as np
+from conftest import RHO_VALUES, run_once
+
+from repro.analysis import figure6_throughput_histograms, figure6_throughput_range
+
+
+def test_fig06a_throughput_histograms_w11(benchmark, catalog, bench_set, report):
+    rhos = (0.0, 0.25, 1.0, 2.0)
+    result = run_once(
+        benchmark,
+        lambda: figure6_throughput_histograms(
+            catalog, bench_set, expected_index=11, rhos=rhos
+        ),
+    )
+    lines = ["Figure 6a: throughput distribution 1/C(w_hat, Phi) for w11 tunings"]
+    for name, data in result.items():
+        if name == "bin_edges":
+            continue
+        tp = data["throughput"]
+        lines.append(
+            f"{name:<18} tuning[{data['tuning']}]  "
+            f"min={tp.min():.3f} median={np.median(tp):.3f} max={tp.max():.3f}"
+        )
+    text = "\n".join(lines)
+    report("fig06a_throughput_histograms", text)
+    print("\n" + text)
+
+
+def test_fig06b_throughput_range(benchmark, catalog, bench_set, report):
+    # Averaged over a representative subset of expected workloads to keep the
+    # run short; the paper averages over all 15.
+    result = run_once(
+        benchmark,
+        lambda: figure6_throughput_range(
+            catalog, bench_set, rhos=RHO_VALUES, expected_indices=(1, 5, 7, 11)
+        ),
+    )
+    # Paper shape: the robust throughput range shrinks as rho grows and ends
+    # below the nominal range.
+    robust = [result["robust"][rho] for rho in RHO_VALUES]
+    assert robust[-1] <= robust[0] + 1e-9
+    assert result["robust"][RHO_VALUES[-1]] <= result["nominal"][RHO_VALUES[-1]]
+
+    lines = ["Figure 6b: throughput range Theta_B(Phi) vs rho (mean over workloads)"]
+    lines.append(f"{'rho':<8}{'nominal':<12}{'robust':<12}")
+    for rho in RHO_VALUES:
+        lines.append(f"{rho:<8g}{result['nominal'][rho]:<12.3f}{result['robust'][rho]:<12.3f}")
+    text = "\n".join(lines)
+    report("fig06b_throughput_range", text)
+    print("\n" + text)

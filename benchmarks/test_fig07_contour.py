@@ -1,0 +1,41 @@
+"""Figure 7 — contours of delta throughput over (ρ, observed KL divergence)."""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.analysis import figure7_contour
+
+
+@pytest.mark.parametrize("expected_index", [7, 11])
+def test_fig07_contour(benchmark, catalog, bench_set, report, expected_index):
+    rhos = [0.25, 0.5, 1.0, 2.0, 3.0]
+    result = run_once(
+        benchmark,
+        lambda: figure7_contour(
+            catalog, bench_set, expected_index=expected_index, rhos=rhos, kl_bins=6
+        ),
+    )
+    grid = result["delta"]
+    assert grid.shape == (len(rhos), 6)
+
+    # Paper shape: once rho is past ~0.25 and the observed divergence is
+    # substantial, the robust tuning wins (positive delta in the upper-right
+    # region of the contour).
+    finite_last_column = grid[:, -1][~np.isnan(grid[:, -1])]
+    assert finite_last_column.size == 0 or finite_last_column.max() > 0.0
+
+    lines = [f"Figure 7: mean delta throughput over (rho, KL) for w{expected_index}"]
+    edges = result["kl_edges"]
+    header = f"{'rho':<8}" + "".join(
+        f"[{edges[j]:.1f},{edges[j + 1]:.1f})".ljust(12) for j in range(grid.shape[1])
+    )
+    lines.append(header)
+    for i, rho in enumerate(rhos):
+        cells = "".join(
+            ("   nan      " if np.isnan(v) else f"{v:<12.3f}") for v in grid[i]
+        )
+        lines.append(f"{rho:<8g}{cells}")
+    text = "\n".join(lines)
+    report(f"fig07_contour_w{expected_index}", text)
+    print("\n" + text)

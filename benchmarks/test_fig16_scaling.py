@@ -1,0 +1,39 @@
+"""Figure 16 — impact of database size on the nominal/robust performance gap."""
+
+from conftest import run_once
+
+from repro.analysis import scaling_experiment
+
+
+def test_fig16_scaling_with_database_size(benchmark, report):
+    rows = run_once(
+        benchmark,
+        lambda: scaling_experiment(
+            expected_index=11,
+            rho=0.25,
+            sizes=(10_000, 30_000, 100_000),
+            queries_per_workload=500,
+            seed=31,
+        ),
+    )
+    assert len(rows) == 3
+
+    # Paper shape: the write-buffer allocation grows with the database size
+    # and the nominal/robust gap persists across sizes.
+    buffers = [row["robust_buffer_bytes"] for row in rows]
+    assert buffers == sorted(buffers)
+
+    lines = [
+        "Figure 16: average I/Os per query vs database size (expected workload w11)",
+        f"{'N':<12}{'nominal io/q':<15}{'robust io/q':<15}"
+        f"{'nominal tuning':<30}{'robust tuning':<30}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{int(row['num_entries']):<12}{row['nominal_io_per_query']:<15.2f}"
+            f"{row['robust_io_per_query']:<15.2f}{row['nominal_tuning']:<30}"
+            f"{row['robust_tuning']:<30}"
+        )
+    text = "\n".join(lines)
+    report("fig16_scaling", text)
+    print("\n" + text)

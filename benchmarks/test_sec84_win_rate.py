@@ -1,0 +1,23 @@
+"""Section 8.4 headline — fraction of comparisons the robust tuning wins."""
+
+from conftest import RHO_VALUES, run_once
+
+from repro.analysis import section84_win_rate
+
+
+def test_sec84_robust_win_rate(benchmark, catalog, bench_set, report):
+    result = run_once(
+        benchmark,
+        lambda: section84_win_rate(catalog, bench_set, rhos=RHO_VALUES),
+    )
+    # Paper: robust tunings win over 80% of ~8.6M comparisons.  On the reduced
+    # grid we still expect a clear majority.
+    assert result["win_rate"] > 0.6
+
+    text = (
+        "Section 8.4: robust vs nominal comparisons over the benchmark set\n"
+        f"comparisons: {int(result['comparisons'])}\n"
+        f"robust win rate: {100 * result['win_rate']:.1f}% (paper reports > 80%)"
+    )
+    report("sec84_win_rate", text)
+    print("\n" + text)

@@ -1,0 +1,17 @@
+"""Table 2 — the 15 expected workloads of the uncertainty benchmark."""
+
+from conftest import run_once
+
+from repro.workloads import expected_workloads
+
+
+def test_table2_expected_workloads(benchmark, report):
+    rows = run_once(benchmark, expected_workloads)
+    assert len(rows) == 15
+
+    lines = [f"{'index':<6}{'(z0, z1, q, w)':<28}{'type':<10}"]
+    for row in rows:
+        lines.append(f"{row.index:<6}{row.workload.describe():<28}{row.category.value:<10}")
+    text = "\n".join(lines)
+    report("table2_expected_workloads", text)
+    print("\n" + text)

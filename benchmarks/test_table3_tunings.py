@@ -1,0 +1,31 @@
+"""Tuning table — nominal vs robust configurations for every Table 2 workload.
+
+The paper reports these configurations atop Figures 8–18 (policy, size ratio
+``T`` and Bloom-filter bits ``h`` for both tunings).
+"""
+
+from conftest import run_once
+
+from repro.analysis import tuning_table
+
+
+def test_table3_nominal_vs_robust_tunings(benchmark, catalog, report):
+    rows = run_once(benchmark, lambda: tuning_table(catalog, rho=1.0))
+    assert len(rows) == 15
+    # The robust worst case of the chosen tuning can never undercut the
+    # nominal optimum evaluated on the expected workload itself.
+    for row in rows:
+        assert row["robust_worst_case_cost"] >= row["nominal_cost"] - 1e-6
+
+    lines = [
+        f"{'workload':<10}{'composition':<28}{'category':<10}"
+        f"{'nominal tuning':<34}{'robust tuning (rho=1)':<34}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['workload']:<10}{row['composition']:<28}{row['category']:<10}"
+            f"{row['nominal']:<34}{row['robust']:<34}"
+        )
+    text = "\n".join(lines)
+    report("table3_tunings", text)
+    print("\n" + text)

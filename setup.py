@@ -1,0 +1,10 @@
+"""Setuptools shim so `pip install -e .` works without network access.
+
+All project metadata lives in pyproject.toml; this file only exists because
+the build environment has no `wheel` package, which the PEP 660 editable
+route would require.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Evaluation metrics and experiment drivers for the paper's figures."""
+
+from .metrics import (
+    average_delta_throughput,
+    delta_throughput,
+    throughput,
+    throughput_range,
+    throughputs,
+    win_rate,
+)
+from .model_eval import (
+    TuningCatalog,
+    figure3_kl_histograms,
+    figure4_delta_by_category,
+    figure5_rho_impact,
+    figure6_throughput_histograms,
+    figure6_throughput_range,
+    figure7_contour,
+    section84_win_rate,
+    tuning_table,
+)
+from .system_eval import (
+    SequenceComparison,
+    SessionComparison,
+    SystemExperiment,
+    format_comparison,
+    scaling_experiment,
+)
+
+__all__ = [
+    "SequenceComparison",
+    "SessionComparison",
+    "SystemExperiment",
+    "TuningCatalog",
+    "average_delta_throughput",
+    "delta_throughput",
+    "figure3_kl_histograms",
+    "figure4_delta_by_category",
+    "figure5_rho_impact",
+    "figure6_throughput_histograms",
+    "figure6_throughput_range",
+    "figure7_contour",
+    "format_comparison",
+    "scaling_experiment",
+    "section84_win_rate",
+    "throughput",
+    "throughput_range",
+    "throughputs",
+    "tuning_table",
+    "win_rate",
+]

@@ -1,0 +1,98 @@
+"""Evaluation metrics of Section 7.1.
+
+* ``throughput(w, Φ) = 1 / C(w, Φ)`` — reciprocal of the expected per-query
+  cost under the analytical model;
+* normalised delta throughput ``Δ_w(Φ1, Φ2)`` — relative throughput gain of
+  ``Φ2`` over ``Φ1`` on workload ``w``;
+* throughput range ``Θ_B(Φ)`` — spread between the best- and worst-case
+  throughput of one tuning over a benchmark set, a consistency measure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..lsm.cost_model import LSMCostModel
+from ..lsm.tuning import LSMTuning
+from ..workloads.workload import Workload
+
+
+def throughput(model: LSMCostModel, workload: Workload, tuning: LSMTuning) -> float:
+    """Throughput proxy ``1 / C(w, Φ)`` of a tuning on one workload."""
+    return model.throughput(workload, tuning)
+
+
+def delta_throughput(
+    model: LSMCostModel,
+    workload: Workload,
+    baseline: LSMTuning,
+    candidate: LSMTuning,
+) -> float:
+    """Normalised delta throughput ``Δ_w(baseline, candidate)``.
+
+    Positive values mean ``candidate`` outperforms ``baseline`` on
+    ``workload``; ``-0.5`` means it achieves half the baseline's throughput.
+    """
+    base = throughput(model, workload, baseline)
+    cand = throughput(model, workload, candidate)
+    return (cand - base) / base
+
+
+def average_delta_throughput(
+    model: LSMCostModel,
+    workloads: Iterable[Workload],
+    baseline: LSMTuning,
+    candidate: LSMTuning,
+) -> float:
+    """Mean of ``Δ_w`` over a collection of workloads."""
+    deltas = [
+        delta_throughput(model, workload, baseline, candidate) for workload in workloads
+    ]
+    if not deltas:
+        raise ValueError("at least one workload is required")
+    return float(np.mean(deltas))
+
+
+def throughput_range(
+    model: LSMCostModel, workloads: Sequence[Workload], tuning: LSMTuning
+) -> float:
+    """Throughput range ``Θ_B(Φ)`` over a benchmark set of workloads.
+
+    Smaller values mean the tuning performs more consistently across the
+    benchmark (lower variance in achievable throughput).
+    """
+    if not workloads:
+        raise ValueError("at least one workload is required")
+    values = np.array([throughput(model, w, tuning) for w in workloads])
+    return float(values.max() - values.min())
+
+
+def throughputs(
+    model: LSMCostModel, workloads: Sequence[Workload], tuning: LSMTuning
+) -> np.ndarray:
+    """Throughput of one tuning on every workload of a benchmark set."""
+    return np.array([throughput(model, w, tuning) for w in workloads])
+
+
+def win_rate(
+    model: LSMCostModel,
+    workloads: Sequence[Workload],
+    baseline: LSMTuning,
+    candidate: LSMTuning,
+    tolerance: float = 0.0,
+) -> float:
+    """Fraction of workloads where ``candidate`` beats ``baseline``.
+
+    Used for the §8.4 headline ("robust tunings comprehensively outperform
+    the nominal tunings in over 80% of comparisons").
+    """
+    if not workloads:
+        raise ValueError("at least one workload is required")
+    wins = sum(
+        1
+        for w in workloads
+        if delta_throughput(model, w, baseline, candidate) > tolerance
+    )
+    return wins / len(workloads)

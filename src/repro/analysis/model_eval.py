@@ -1,0 +1,358 @@
+"""Model-based evaluation drivers (Section 7, Figures 3–7).
+
+Each public function regenerates the data behind one figure of the paper's
+model-based study: it computes nominal and robust tunings with the solvers in
+:mod:`repro.core`, evaluates them over the uncertainty benchmark with the
+analytical cost model, and returns plain data structures (dictionaries,
+NumPy arrays) that the benchmark harness prints as the paper's rows/series.
+
+The functions accept a scaled-down benchmark and ρ grid so the full pipeline
+stays fast enough for CI; passing the paper's sizes (10,000 samples, 17 ρ
+values) reproduces the original experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.nominal import NominalTuner
+from ..core.results import TuningResult
+from ..core.robust import RobustTuner
+from ..lsm.cost_model import LSMCostModel
+from ..lsm.system import SystemConfig
+from ..workloads.benchmark import (
+    ExpectedWorkload,
+    UncertaintyBenchmark,
+    WorkloadCategory,
+    expected_workloads,
+    rho_grid,
+)
+from ..workloads.workload import Workload
+from .metrics import (
+    average_delta_throughput,
+    delta_throughput,
+    throughput_range,
+    throughputs,
+    win_rate,
+)
+
+
+@dataclass
+class TuningCatalog:
+    """Caches nominal and robust tunings for the expected workloads.
+
+    Computing a tuning takes a fraction of a second; the model evaluation
+    needs hundreds of them (15 workloads × the ρ grid), so they are computed
+    lazily and memoised here.
+    """
+
+    system: SystemConfig = field(default_factory=SystemConfig)
+    starts_per_policy: int = 4
+    _nominal: dict[int, TuningResult] = field(default_factory=dict, init=False)
+    _robust: dict[tuple[int, float], TuningResult] = field(
+        default_factory=dict, init=False
+    )
+
+    @property
+    def cost_model(self) -> LSMCostModel:
+        """Cost model bound to the catalog's system configuration."""
+        return LSMCostModel(self.system)
+
+    def nominal(self, expected: ExpectedWorkload) -> TuningResult:
+        """Nominal tuning ``Φ_N`` for one expected workload (cached)."""
+        if expected.index not in self._nominal:
+            tuner = NominalTuner(
+                system=self.system, starts_per_policy=self.starts_per_policy
+            )
+            self._nominal[expected.index] = tuner.tune(expected.workload)
+        return self._nominal[expected.index]
+
+    def robust(self, expected: ExpectedWorkload, rho: float) -> TuningResult:
+        """Robust tuning ``Φ_R`` for one expected workload and ``ρ`` (cached)."""
+        key = (expected.index, round(float(rho), 6))
+        if key not in self._robust:
+            tuner = RobustTuner(
+                rho=float(rho),
+                system=self.system,
+                starts_per_policy=self.starts_per_policy,
+            )
+            self._robust[key] = tuner.tune(expected.workload)
+        return self._robust[key]
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — KL-divergence histograms of the benchmark set
+# ----------------------------------------------------------------------
+def figure3_kl_histograms(
+    benchmark: UncertaintyBenchmark,
+    reference_indices: Sequence[int] = (0, 1),
+    bins: int = 40,
+    max_divergence: float = 4.0,
+) -> dict[str, dict[str, np.ndarray]]:
+    """Histogram the KL divergence of the benchmark w.r.t. expected workloads.
+
+    Returns, per reference workload name, the histogram densities and bin
+    edges — the data plotted in Figure 3.
+    """
+    table = expected_workloads()
+    result: dict[str, dict[str, np.ndarray]] = {}
+    edges = np.linspace(0.0, max_divergence, bins + 1)
+    for index in reference_indices:
+        reference = table[index]
+        divergences = benchmark.kl_divergences(reference.workload)
+        finite = divergences[np.isfinite(divergences)]
+        density, _ = np.histogram(finite, bins=edges, density=True)
+        result[reference.name] = {
+            "density": density,
+            "bin_edges": edges,
+            "mean": np.array([finite.mean()]),
+        }
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — average delta throughput per workload category vs ρ
+# ----------------------------------------------------------------------
+def figure4_delta_by_category(
+    catalog: TuningCatalog,
+    benchmark: UncertaintyBenchmark,
+    rhos: Sequence[float] | None = None,
+    categories: Sequence[WorkloadCategory] | None = None,
+) -> dict[str, dict[float, float]]:
+    """Average ``Δ_ŵ(Φ_N, Φ_R)`` per expected-workload category and ρ.
+
+    Returns ``{category: {rho: mean delta}}`` — the series of Figure 4.
+    """
+    if rhos is None:
+        rhos = [r for r in rho_grid() if r > 0]
+    if categories is None:
+        categories = list(WorkloadCategory)
+    model = catalog.cost_model
+    sampled = list(benchmark)
+    result: dict[str, dict[float, float]] = {}
+    for category in categories:
+        members = [w for w in expected_workloads() if w.category is category]
+        per_rho: dict[float, float] = {}
+        for rho in rhos:
+            deltas = []
+            for expected in members:
+                nominal = catalog.nominal(expected).tuning
+                robust = catalog.robust(expected, rho).tuning
+                deltas.append(
+                    average_delta_throughput(model, sampled, nominal, robust)
+                )
+            per_rho[float(rho)] = float(np.mean(deltas))
+        result[category.value] = per_rho
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — impact of ρ on delta throughput vs observed divergence
+# ----------------------------------------------------------------------
+def figure5_rho_impact(
+    catalog: TuningCatalog,
+    benchmark: UncertaintyBenchmark,
+    expected_index: int = 11,
+    rhos: Sequence[float] = (0.0, 0.25, 1.0, 2.0),
+) -> dict[float, dict[str, np.ndarray | str]]:
+    """Per-ρ scatter data of ``Δ_ŵ(Φ_N, Φ_R)`` against ``I_KL(ŵ, w)``.
+
+    Returns ``{rho: {"kl": ..., "delta": ..., "tuning": description}}`` —
+    the panels of Figure 5.
+    """
+    expected = expected_workloads()[expected_index]
+    model = catalog.cost_model
+    nominal = catalog.nominal(expected).tuning
+    divergences = benchmark.kl_divergences(expected.workload)
+    result: dict[float, dict[str, np.ndarray | str]] = {}
+    for rho in rhos:
+        robust = catalog.robust(expected, rho).tuning
+        deltas = np.array(
+            [
+                delta_throughput(model, workload, nominal, robust)
+                for workload in benchmark
+            ]
+        )
+        result[float(rho)] = {
+            "kl": divergences.copy(),
+            "delta": deltas,
+            "tuning": robust.describe(),
+        }
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — throughput histograms and throughput range vs ρ
+# ----------------------------------------------------------------------
+def figure6_throughput_histograms(
+    catalog: TuningCatalog,
+    benchmark: UncertaintyBenchmark,
+    expected_index: int = 11,
+    rhos: Sequence[float] = (0.0, 0.25, 1.0, 2.0),
+    bins: int = 30,
+) -> dict[str, dict]:
+    """Throughput distributions of the nominal and robust tunings (Fig. 6a)."""
+    expected = expected_workloads()[expected_index]
+    model = catalog.cost_model
+    workloads = list(benchmark)
+    nominal = catalog.nominal(expected).tuning
+    nominal_tp = throughputs(model, workloads, nominal)
+    edges = np.histogram_bin_edges(nominal_tp, bins=bins)
+    result: dict[str, dict] = {
+        "nominal": {
+            "throughput": nominal_tp,
+            "tuning": nominal.describe(),
+        }
+    }
+    for rho in rhos:
+        robust = catalog.robust(expected, rho).tuning
+        result[f"robust_rho_{rho:g}"] = {
+            "throughput": throughputs(model, workloads, robust),
+            "tuning": robust.describe(),
+        }
+    result["bin_edges"] = {"edges": edges}
+    return result
+
+
+def figure6_throughput_range(
+    catalog: TuningCatalog,
+    benchmark: UncertaintyBenchmark,
+    rhos: Sequence[float] | None = None,
+    expected_indices: Sequence[int] | None = None,
+) -> dict[str, dict[float, float]]:
+    """Throughput range ``Θ_B`` vs ρ, averaged over expected workloads (Fig. 6b).
+
+    Returns ``{"nominal": {rho: mean range}, "robust": {rho: mean range}}``
+    (the nominal range is constant in ρ but repeated for easy plotting).
+    """
+    if rhos is None:
+        rhos = [r for r in rho_grid() if r > 0]
+    table = expected_workloads()
+    if expected_indices is None:
+        expected_indices = range(len(table))
+    model = catalog.cost_model
+    workloads = list(benchmark)
+    nominal_ranges = {}
+    robust_ranges: dict[float, list[float]] = {float(r): [] for r in rhos}
+    for index in expected_indices:
+        expected = table[index]
+        nominal = catalog.nominal(expected).tuning
+        nominal_ranges[index] = throughput_range(model, workloads, nominal)
+        for rho in rhos:
+            robust = catalog.robust(expected, rho).tuning
+            robust_ranges[float(rho)].append(
+                throughput_range(model, workloads, robust)
+            )
+    mean_nominal = float(np.mean(list(nominal_ranges.values())))
+    return {
+        "nominal": {float(r): mean_nominal for r in rhos},
+        "robust": {r: float(np.mean(v)) for r, v in robust_ranges.items()},
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — contour of delta throughput over (ρ, KL divergence)
+# ----------------------------------------------------------------------
+def figure7_contour(
+    catalog: TuningCatalog,
+    benchmark: UncertaintyBenchmark,
+    expected_index: int,
+    rhos: Sequence[float] | None = None,
+    kl_bins: int = 8,
+    max_divergence: float = 3.2,
+) -> dict[str, np.ndarray]:
+    """Mean ``Δ_ŵ(Φ_N, Φ_R)`` binned over (ρ, observed KL divergence).
+
+    Returns the contour grid of Figure 7: ``rho_values``, ``kl_edges`` and a
+    matrix ``delta`` of shape (len(rho_values), kl_bins) whose entry (i, j)
+    is the mean delta of benchmark workloads falling in KL bin j under the
+    robust tuning computed with ρ = rho_values[i].
+    """
+    if rhos is None:
+        rhos = [r for r in rho_grid(0.25, 3.0, 0.25)]
+    expected = expected_workloads()[expected_index]
+    model = catalog.cost_model
+    nominal = catalog.nominal(expected).tuning
+    divergences = benchmark.kl_divergences(expected.workload)
+    kl_edges = np.linspace(0.0, max_divergence, kl_bins + 1)
+    bin_index = np.clip(np.digitize(divergences, kl_edges) - 1, 0, kl_bins - 1)
+
+    grid = np.full((len(rhos), kl_bins), np.nan)
+    for i, rho in enumerate(rhos):
+        robust = catalog.robust(expected, rho).tuning
+        deltas = np.array(
+            [
+                delta_throughput(model, workload, nominal, robust)
+                for workload in benchmark
+            ]
+        )
+        for j in range(kl_bins):
+            mask = bin_index == j
+            if np.any(mask):
+                grid[i, j] = float(np.mean(deltas[mask]))
+    return {
+        "rho_values": np.asarray(list(rhos), dtype=float),
+        "kl_edges": kl_edges,
+        "delta": grid,
+    }
+
+
+# ----------------------------------------------------------------------
+# Tuning table and §8.4 aggregate win rate
+# ----------------------------------------------------------------------
+def tuning_table(
+    catalog: TuningCatalog, rho: float = 1.0
+) -> list[dict[str, str | float]]:
+    """Nominal vs robust tunings for every expected workload.
+
+    One row per Table 2 workload with both tunings' (policy, T, h); this is
+    the configuration information the paper reports atop Figures 8–18.
+    """
+    rows = []
+    for expected in expected_workloads():
+        nominal = catalog.nominal(expected)
+        robust = catalog.robust(expected, rho)
+        rows.append(
+            {
+                "workload": expected.name,
+                "composition": expected.workload.describe(),
+                "category": expected.category.value,
+                "nominal": nominal.tuning.describe(),
+                "robust": robust.tuning.describe(),
+                "nominal_cost": nominal.objective,
+                "robust_worst_case_cost": robust.objective,
+            }
+        )
+    return rows
+
+
+def section84_win_rate(
+    catalog: TuningCatalog,
+    benchmark: UncertaintyBenchmark,
+    rhos: Sequence[float] | None = None,
+    expected_indices: Sequence[int] | None = None,
+) -> dict[str, float]:
+    """Fraction of (workload, ρ, ŵ) comparisons the robust tuning wins (§8.4)."""
+    if rhos is None:
+        rhos = [r for r in rho_grid() if r > 0]
+    table = expected_workloads()
+    if expected_indices is None:
+        expected_indices = range(len(table))
+    model = catalog.cost_model
+    workloads = list(benchmark)
+    rates = []
+    comparisons = 0
+    for index in expected_indices:
+        expected = table[index]
+        nominal = catalog.nominal(expected).tuning
+        for rho in rhos:
+            robust = catalog.robust(expected, rho).tuning
+            rates.append(win_rate(model, workloads, nominal, robust))
+            comparisons += len(workloads)
+    return {
+        "win_rate": float(np.mean(rates)),
+        "comparisons": float(comparisons),
+    }

@@ -1,0 +1,122 @@
+"""Small command-line front end for the Endure reproduction.
+
+Examples
+--------
+Recommend a tuning for an expected workload::
+
+    repro-endure tune --workload 0.33 0.33 0.33 0.01 --rho 1.0
+
+Compare nominal and robust tunings on the simulator::
+
+    repro-endure compare --expected-index 11 --rho 0.25
+
+Print the Table 2 expected workloads::
+
+    repro-endure workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .analysis.model_eval import TuningCatalog, tuning_table
+from .analysis.system_eval import SystemExperiment, format_comparison
+from .core.nominal import NominalTuner
+from .core.robust import RobustTuner
+from .lsm.system import SystemConfig, simulator_system
+from .workloads.benchmark import expected_workloads
+from .workloads.workload import Workload
+
+
+def _workload_from_args(values: Sequence[float]) -> Workload:
+    return Workload.from_array([float(v) for v in values])
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    workload = _workload_from_args(args.workload)
+    system = SystemConfig()
+    nominal = NominalTuner(system=system).tune(workload)
+    output = {"workload": workload.as_dict(), "nominal": nominal.tuning.to_dict()}
+    if args.rho > 0:
+        robust = RobustTuner(rho=args.rho, system=system).tune(workload)
+        output["robust"] = robust.tuning.to_dict()
+        output["rho"] = args.rho
+    print(json.dumps(output, indent=2))
+    return 0
+
+
+def _cmd_workloads(_: argparse.Namespace) -> int:
+    for expected in expected_workloads():
+        print(expected.describe())
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    catalog = TuningCatalog()
+    for row in tuning_table(catalog, rho=args.rho):
+        print(
+            f"{row['workload']:<4} {row['composition']:<26} "
+            f"nominal[{row['nominal']}]  robust[{row['robust']}]"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    expected = expected_workloads()[args.expected_index].workload
+    experiment = SystemExperiment(
+        system=simulator_system(num_entries=args.num_entries)
+    )
+    comparison = experiment.run(expected, rho=args.rho)
+    print(format_comparison(comparison))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-endure",
+        description="Robust LSM-tree tuning under workload uncertainty (Endure reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    tune = subparsers.add_parser("tune", help="recommend a tuning for a workload")
+    tune.add_argument(
+        "--workload",
+        nargs=4,
+        type=float,
+        required=True,
+        metavar=("Z0", "Z1", "Q", "W"),
+        help="workload proportions (empty reads, non-empty reads, ranges, writes)",
+    )
+    tune.add_argument("--rho", type=float, default=1.0, help="uncertainty radius")
+    tune.set_defaults(func=_cmd_tune)
+
+    workloads = subparsers.add_parser("workloads", help="print Table 2 workloads")
+    workloads.set_defaults(func=_cmd_workloads)
+
+    table = subparsers.add_parser("table", help="nominal vs robust tunings (all workloads)")
+    table.add_argument("--rho", type=float, default=1.0)
+    table.set_defaults(func=_cmd_table)
+
+    compare = subparsers.add_parser(
+        "compare", help="run the simulator comparison for one expected workload"
+    )
+    compare.add_argument("--expected-index", type=int, default=11)
+    compare.add_argument("--rho", type=float, default=0.25)
+    compare.add_argument("--num-entries", type=int, default=30_000)
+    compare.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Endure's contribution: nominal and robust LSM-tree tuners."""
+
+from .grid import GridTuner
+from .nominal import NominalTuner
+from .results import TuningResult
+from .robust import RobustTuner, tune_nominal, tune_robust
+from .uncertainty import (
+    UncertaintyRegion,
+    dual_objective,
+    kl_conjugate,
+    minimize_dual_for_cost,
+)
+
+__all__ = [
+    "GridTuner",
+    "NominalTuner",
+    "RobustTuner",
+    "TuningResult",
+    "UncertaintyRegion",
+    "dual_objective",
+    "kl_conjugate",
+    "minimize_dual_for_cost",
+    "tune_nominal",
+    "tune_robust",
+]

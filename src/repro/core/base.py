@@ -1,0 +1,274 @@
+"""Shared optimisation machinery for the nominal and robust tuners.
+
+Both tuners minimise an objective over the design space ``(T, h, π)``.  The
+number of levels ``L(T)`` is a step function of the size ratio, so the cost
+surface is piecewise smooth with plateaus and jumps in ``T``; a single
+continuous solve is unreliable there.  The tuners therefore:
+
+1. enumerate candidate size ratios (every deployable integer by default),
+2. solve the remaining smooth, low-dimensional sub-problem at each candidate
+   with bounded scalar minimisation (Brent), which is fast and reliable, and
+3. polish the best candidate with a final continuous SLSQP solve over all
+   design variables — the solver the paper uses — which recovers the
+   fractional size ratios the paper reports.
+
+Each compaction policy is optimised independently and the better one wins.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize
+
+from ..lsm.cost_model import LSMCostModel
+from ..lsm.policy import ALL_POLICIES, Policy
+from ..lsm.system import SystemConfig
+from ..lsm.tuning import LSMTuning
+from ..workloads.workload import Workload
+from .results import TuningResult
+
+#: Small margin keeping the solver away from degenerate boundary values.
+_EPSILON = 1e-6
+
+
+def default_ratio_candidates(max_size_ratio: float) -> np.ndarray:
+    """Candidate size ratios: every integer from 2 up to ``max_size_ratio``.
+
+    Deployable LSM tunings use integer size ratios, and the cost surface is
+    smooth between consecutive integers, so this grid combined with the
+    continuous polish step covers the whole design space.
+    """
+    upper = int(np.floor(max_size_ratio))
+    return np.arange(2, upper + 1, dtype=float)
+
+
+class BaseTuner(abc.ABC):
+    """Common candidate-sweep + SLSQP-polish scaffolding used by every tuner.
+
+    Parameters
+    ----------
+    system:
+        System configuration to tune for.
+    policies:
+        Compaction policies to consider (both, by default).
+    ratio_candidates:
+        Candidate size ratios swept by the outer loop; defaults to all
+        integers in ``[2, max_size_ratio]``.
+    starts_per_policy:
+        Number of starting points used by the final SLSQP polish.
+    polish:
+        Whether to run the final continuous SLSQP refinement (including ``T``)
+        around the best candidate.
+    seed:
+        Seed of the random starting points used by the polish step.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig | None = None,
+        policies: Sequence[Policy] = ALL_POLICIES,
+        ratio_candidates: Sequence[float] | None = None,
+        starts_per_policy: int = 2,
+        polish: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.system = system if system is not None else SystemConfig()
+        self.cost_model = LSMCostModel(self.system)
+        self.policies = tuple(Policy.from_value(p) for p in policies)
+        if not self.policies:
+            raise ValueError("at least one compaction policy is required")
+        if starts_per_policy <= 0:
+            raise ValueError("starts_per_policy must be positive")
+        self.starts_per_policy = starts_per_policy
+        self.polish = polish
+        if ratio_candidates is None:
+            ratio_candidates = default_ratio_candidates(self.system.max_size_ratio)
+        self.ratio_candidates = np.asarray(sorted(ratio_candidates), dtype=float)
+        if self.ratio_candidates.size == 0:
+            raise ValueError("ratio_candidates must not be empty")
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Abstract interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _optimize_inner(
+        self, size_ratio: float, policy: Policy, workload: Workload
+    ) -> tuple[np.ndarray, float]:
+        """Optimise the non-ratio design variables at a fixed size ratio.
+
+        Returns ``(inner_variables, objective_value)`` where the inner
+        variables are ``[h]`` for the nominal tuner and ``[h, λ]`` for the
+        robust tuner.
+        """
+
+    @abc.abstractmethod
+    def _objective(
+        self, size_ratio: float, inner: np.ndarray, policy: Policy, workload: Workload
+    ) -> float:
+        """Objective value at one fully specified design point (for the polish)."""
+
+    @abc.abstractmethod
+    def _inner_bounds(self) -> list[tuple[float, float]]:
+        """Box bounds of the inner variables (for the polish)."""
+
+    @abc.abstractmethod
+    def _result_from_design(
+        self,
+        size_ratio: float,
+        inner: np.ndarray,
+        policy: Policy,
+        workload: Workload,
+        objective: float,
+        solver_info: dict,
+    ) -> TuningResult:
+        """Convert the best design into a :class:`TuningResult`."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @property
+    def size_ratio_bounds(self) -> tuple[float, float]:
+        """Legal range of the size ratio ``T``."""
+        return (2.0, self.system.max_size_ratio)
+
+    @property
+    def bits_per_entry_bounds(self) -> tuple[float, float]:
+        """Legal range of the Bloom-filter bits per entry ``h``."""
+        return (
+            self.system.min_bits_per_entry,
+            self.system.max_bits_per_entry - _EPSILON,
+        )
+
+    def _tuning_from(self, size_ratio: float, bits: float, policy: Policy) -> LSMTuning:
+        """Build a tuning, clamping the design into the legal box."""
+        t_lo, t_hi = self.size_ratio_bounds
+        h_lo, h_hi = self.bits_per_entry_bounds
+        return LSMTuning(
+            size_ratio=float(np.clip(size_ratio, t_lo, t_hi)),
+            bits_per_entry=float(np.clip(bits, h_lo, h_hi)),
+            policy=policy,
+        )
+
+    def _minimize_scalar(self, objective, bounds: tuple[float, float]):
+        """Bounded Brent minimisation used by the inner solves."""
+        return optimize.minimize_scalar(
+            objective, bounds=bounds, method="bounded", options={"xatol": 1e-4}
+        )
+
+    def _grid_then_refine(
+        self, objective, bounds: tuple[float, float], grid_points: int = 24
+    ) -> tuple[float, float]:
+        """Global-ish 1-D minimisation: coarse grid scan + local Brent refine.
+
+        The cost surface is only piecewise smooth in the Bloom-filter budget
+        (the level count jumps as the write buffer shrinks), so a pure local
+        method can stall on a plateau; scanning a coarse grid first and then
+        refining inside the best bracket is fast and reliable.
+        """
+        lo, hi = bounds
+        grid = np.linspace(lo, hi, grid_points)
+        values = np.array([objective(x) for x in grid])
+        best = int(np.argmin(values))
+        bracket_lo = grid[max(best - 1, 0)]
+        bracket_hi = grid[min(best + 1, grid_points - 1)]
+        if bracket_hi <= bracket_lo:
+            return float(grid[best]), float(values[best])
+        result = optimize.minimize_scalar(
+            objective,
+            bounds=(bracket_lo, bracket_hi),
+            method="bounded",
+            options={"xatol": 1e-4},
+        )
+        if np.isfinite(result.fun) and result.fun < values[best]:
+            return float(result.x), float(result.fun)
+        return float(grid[best]), float(values[best])
+
+    def _slsqp(self, objective, start: np.ndarray, bounds) -> optimize.OptimizeResult:
+        """Run one SLSQP minimisation from a starting point."""
+        return optimize.minimize(
+            objective,
+            np.asarray(start, dtype=float),
+            method="SLSQP",
+            bounds=bounds,
+            options={"maxiter": 200, "ftol": 1e-10},
+        )
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def tune(self, workload: Workload) -> TuningResult:
+        """Solve the tuning problem for ``workload`` and return the best result."""
+        best_value = np.inf
+        best_ratio: float | None = None
+        best_inner: np.ndarray | None = None
+        best_policy: Policy | None = None
+        per_policy: dict[str, float] = {}
+
+        for policy in self.policies:
+            policy_best = np.inf
+            for size_ratio in self.ratio_candidates:
+                inner, value = self._optimize_inner(float(size_ratio), policy, workload)
+                if not np.isfinite(value):
+                    continue
+                if value < policy_best:
+                    policy_best = value
+                if value < best_value:
+                    best_value = value
+                    best_ratio = float(size_ratio)
+                    best_inner = np.asarray(inner, dtype=float)
+                    best_policy = policy
+            per_policy[policy.value] = policy_best
+
+        if best_ratio is None or best_inner is None or best_policy is None:
+            raise RuntimeError("the optimiser failed to produce any finite solution")
+
+        if self.polish:
+            best_ratio, best_inner, best_value = self._polish(
+                best_ratio, best_inner, best_policy, workload, best_value
+            )
+
+        solver_info = {"per_policy_objective": per_policy}
+        return self._result_from_design(
+            best_ratio, best_inner, best_policy, workload, best_value, solver_info
+        )
+
+    def _polish(
+        self,
+        size_ratio: float,
+        inner: np.ndarray,
+        policy: Policy,
+        workload: Workload,
+        current_value: float,
+    ) -> tuple[float, np.ndarray, float]:
+        """Continuous SLSQP refinement over ``(T, inner)`` near the best candidate."""
+
+        def full_objective(design: np.ndarray) -> float:
+            return self._objective(design[0], design[1:], policy, workload)
+
+        bounds = [self.size_ratio_bounds] + list(self._inner_bounds())
+        starts = [np.concatenate([[size_ratio], inner])]
+        for _ in range(self.starts_per_policy - 1):
+            jitter = self._rng.uniform(0.9, 1.1, size=starts[0].size)
+            starts.append(
+                np.clip(
+                    starts[0] * jitter,
+                    [b[0] for b in bounds],
+                    [b[1] for b in bounds],
+                )
+            )
+
+        best = (size_ratio, inner, current_value)
+        for start in starts:
+            result = self._slsqp(full_objective, start, bounds)
+            value = float(result.fun)
+            if np.isfinite(value) and value < best[2]:
+                best = (
+                    float(result.x[0]),
+                    np.asarray(result.x[1:], dtype=float),
+                    value,
+                )
+        return best

@@ -1,0 +1,97 @@
+"""Exhaustive grid-search tuner.
+
+A brute-force baseline used to validate the SLSQP-based tuners: it sweeps an
+integer grid of size ratios and a grid of Bloom-filter allocations for both
+policies and keeps the configuration with the smallest objective.  It can
+optimise either the nominal objective or the robust worst-case objective, so
+the test-suite can confirm that the continuous solvers land at (or very near)
+the grid optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lsm.cost_model import LSMCostModel
+from ..lsm.policy import ALL_POLICIES, Policy
+from ..lsm.system import SystemConfig
+from ..lsm.tuning import LSMTuning
+from ..workloads.workload import Workload
+from .results import TuningResult
+from .uncertainty import UncertaintyRegion
+
+
+class GridTuner:
+    """Exhaustive search over a discretised design space.
+
+    Parameters
+    ----------
+    system:
+        System configuration to tune for.
+    size_ratios:
+        Candidate size ratios; defaults to the integers 2 … max_size_ratio
+        (capped at 100 values).
+    bits_grid_points:
+        Number of equally spaced Bloom-filter allocations to try.
+    rho:
+        Uncertainty radius; 0 reproduces the nominal objective.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig | None = None,
+        size_ratios: np.ndarray | None = None,
+        bits_grid_points: int = 33,
+        rho: float = 0.0,
+    ) -> None:
+        if rho < 0:
+            raise ValueError("rho must be non-negative")
+        if bits_grid_points < 2:
+            raise ValueError("bits_grid_points must be at least 2")
+        self.system = system if system is not None else SystemConfig()
+        self.cost_model = LSMCostModel(self.system)
+        self.rho = rho
+        if size_ratios is None:
+            upper = int(min(self.system.max_size_ratio, 100.0))
+            size_ratios = np.arange(2, upper + 1, dtype=float)
+        self.size_ratios = np.asarray(size_ratios, dtype=float)
+        self.bits_grid = np.linspace(
+            self.system.min_bits_per_entry,
+            self.system.max_bits_per_entry * 0.999,
+            bits_grid_points,
+        )
+
+    def _objective(self, workload: Workload, tuning: LSMTuning) -> float:
+        cost_vector = self.cost_model.cost_vector(tuning)
+        if self.rho == 0.0:
+            return float(np.dot(workload.as_array(), cost_vector))
+        region = UncertaintyRegion(expected=workload, rho=self.rho)
+        return region.worst_case_cost(cost_vector)
+
+    def tune(self, workload: Workload) -> TuningResult:
+        """Exhaustively search the grid and return the best configuration."""
+        best_tuning: LSMTuning | None = None
+        best_value = np.inf
+        evaluated = 0
+        for policy in ALL_POLICIES:
+            for size_ratio in self.size_ratios:
+                for bits in self.bits_grid:
+                    tuning = LSMTuning(
+                        size_ratio=float(size_ratio),
+                        bits_per_entry=float(bits),
+                        policy=policy,
+                    )
+                    value = self._objective(workload, tuning)
+                    evaluated += 1
+                    if value < best_value:
+                        best_value = value
+                        best_tuning = tuning
+        if best_tuning is None:
+            raise RuntimeError("grid search evaluated no configurations")
+        return TuningResult(
+            tuning=best_tuning,
+            objective=float(best_value),
+            expected_workload=workload,
+            rho=self.rho,
+            solver_info={"evaluated_configurations": evaluated},
+        )

@@ -1,0 +1,174 @@
+"""The Robust Tuning problem (Problem 2, §3.3–§4).
+
+Endure replaces the single-workload objective with the worst case over a
+KL-divergence ball of radius ``ρ`` around the expected workload:
+
+    min_Φ  max_{ŵ : I_KL(ŵ, w) ≤ ρ}  ŵ · c(Φ).
+
+Following Ben-Tal et al. (2013), the inner maximisation is dualised with the
+conjugate of the KL divergence (``φ*_KL(s) = eˢ − 1``).  Optimising the dual
+variable ``η`` in closed form leaves the exponential-tilting dual
+
+    g(Φ, λ) = ρ·λ + λ · log Σ_i w_i · exp(c_i(Φ) / λ),
+
+a smooth function jointly minimised over the design and the remaining
+Lagrangian variable ``λ ≥ 0``.  The tuner sweeps candidate size ratios,
+optimises ``(h, λ)`` at each with nested bounded minimisation, and refines
+the winner with SciPy's SLSQP over the full continuous design — the solver
+used by the original Endure implementation (§4).  Strong duality makes the
+optimum equal the primal worst-case cost, which the test-suite verifies
+against the exact inner-maximisation solver in :mod:`repro.core.uncertainty`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import logsumexp
+
+from ..lsm.policy import Policy
+from ..workloads.workload import Workload
+from .base import BaseTuner
+from .nominal import NominalTuner
+from .results import TuningResult
+from .uncertainty import UncertaintyRegion
+
+#: Bounds of log(λ) used when optimising the dual variable.
+_LOG_LAMBDA_BOUNDS = (-9.0, 12.0)
+
+#: Bounds of λ used by the SLSQP polish step.
+_LAMBDA_BOUNDS = (np.exp(_LOG_LAMBDA_BOUNDS[0]), np.exp(_LOG_LAMBDA_BOUNDS[1]))
+
+
+class RobustTuner(BaseTuner):
+    """Solves the robust tuning problem for a given uncertainty radius ``ρ``."""
+
+    #: Inner variable layout at a fixed size ratio: ``[bits_per_entry, lambda]``.
+    INNER_DIMENSION = 2
+
+    def __init__(self, rho: float, **kwargs) -> None:
+        if rho < 0:
+            raise ValueError("rho must be non-negative")
+        super().__init__(**kwargs)
+        self.rho = rho
+
+    # ------------------------------------------------------------------
+    # Dual objective
+    # ------------------------------------------------------------------
+    def dual_value(self, cost_vector: np.ndarray, workload: Workload, lam: float) -> float:
+        """Evaluate ``g(Φ, λ) = ρλ + λ log Σ_i w_i exp(c_i/λ)``.
+
+        This is the dual of the inner maximisation with ``η`` eliminated; for
+        any ``λ > 0`` it upper-bounds the worst-case cost and its minimum over
+        ``λ`` equals it (strong duality).
+        """
+        lam = float(max(lam, _LAMBDA_BOUNDS[0]))
+        log_expectation = float(logsumexp(cost_vector / lam, b=workload.as_array()))
+        return self.rho * lam + lam * log_expectation
+
+    def _dual_values_on_grid(
+        self, cost_vector: np.ndarray, weights: np.ndarray, lams: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised evaluation of the dual over a grid of λ values."""
+        scaled = cost_vector[None, :] / lams[:, None]
+        shift = scaled.max(axis=1)
+        log_expectation = (
+            np.log(np.dot(np.exp(scaled - shift[:, None]), weights)) + shift
+        )
+        return self.rho * lams + lams * log_expectation
+
+    def _worst_case_of_cost(
+        self, cost_vector: np.ndarray, workload: Workload
+    ) -> tuple[float, float]:
+        """Minimise the dual over ``λ`` for a fixed cost vector.
+
+        Evaluates the dual on a logarithmic λ grid (vectorised) and refines the
+        best point with a parabolic step in ``log λ``.  Returns
+        ``(worst_case_value, lambda_star)``.  With ``ρ = 0`` the dual
+        degenerates to the nominal expected cost (``λ → ∞``).
+        """
+        weights = workload.as_array()
+        if self.rho == 0.0:
+            return float(np.dot(weights, cost_vector)), float("inf")
+        log_grid = np.linspace(*_LOG_LAMBDA_BOUNDS, 64)
+        values = self._dual_values_on_grid(cost_vector, weights, np.exp(log_grid))
+        best = int(np.argmin(values))
+        lo, hi = max(best - 1, 0), min(best + 1, log_grid.size - 1)
+        refine = np.linspace(log_grid[lo], log_grid[hi], 17)
+        refined = self._dual_values_on_grid(cost_vector, weights, np.exp(refine))
+        best_refined = int(np.argmin(refined))
+        return float(refined[best_refined]), float(np.exp(refine[best_refined]))
+
+    # ------------------------------------------------------------------
+    # Inner optimisation at a fixed size ratio
+    # ------------------------------------------------------------------
+    def _optimize_inner(
+        self, size_ratio: float, policy: Policy, workload: Workload
+    ) -> tuple[np.ndarray, float]:
+        def value_at(bits: float) -> float:
+            try:
+                tuning = self._tuning_from(size_ratio, float(bits), policy)
+                cost_vector = self.cost_model.cost_vector(tuning)
+            except (ValueError, OverflowError):
+                return float("inf")
+            return self._worst_case_of_cost(cost_vector, workload)[0]
+
+        bits, value = self._grid_then_refine(value_at, self.bits_per_entry_bounds)
+        tuning = self._tuning_from(size_ratio, bits, policy)
+        _, lam = self._worst_case_of_cost(self.cost_model.cost_vector(tuning), workload)
+        lam = min(lam, _LAMBDA_BOUNDS[1])
+        return np.array([bits, lam]), value
+
+    # ------------------------------------------------------------------
+    # Full-design objective (used by the SLSQP polish)
+    # ------------------------------------------------------------------
+    def _objective(
+        self, size_ratio: float, inner: np.ndarray, policy: Policy, workload: Workload
+    ) -> float:
+        bits, lam = float(inner[0]), float(inner[1])
+        try:
+            tuning = self._tuning_from(size_ratio, bits, policy)
+            cost_vector = self.cost_model.cost_vector(tuning)
+        except (ValueError, OverflowError):
+            return float("inf")
+        if self.rho == 0.0:
+            return float(np.dot(workload.as_array(), cost_vector))
+        return self.dual_value(cost_vector, workload, lam)
+
+    def _inner_bounds(self) -> list[tuple[float, float]]:
+        return [self.bits_per_entry_bounds, _LAMBDA_BOUNDS]
+
+    def _result_from_design(
+        self,
+        size_ratio: float,
+        inner: np.ndarray,
+        policy: Policy,
+        workload: Workload,
+        objective: float,
+        solver_info: dict,
+    ) -> TuningResult:
+        tuning = self._tuning_from(size_ratio, float(inner[0]), policy)
+        solver_info = dict(solver_info)
+        solver_info["lambda"] = float(inner[1])
+        solver_info["dual_objective"] = objective
+        # Report the exact primal worst-case cost of the selected tuning: it
+        # is the quantity the problem statement optimises and, by strong
+        # duality, matches the dual objective at the optimum.
+        region = UncertaintyRegion(expected=workload, rho=self.rho)
+        worst_case = region.worst_case_cost(self.cost_model.cost_vector(tuning))
+        return TuningResult(
+            tuning=tuning,
+            objective=worst_case,
+            expected_workload=workload,
+            rho=self.rho,
+            solver_info=solver_info,
+        )
+
+
+def tune_robust(workload: Workload, rho: float, system=None, **kwargs) -> TuningResult:
+    """Convenience wrapper: build a :class:`RobustTuner` and solve once."""
+    return RobustTuner(rho=rho, system=system, **kwargs).tune(workload)
+
+
+def tune_nominal(workload: Workload, system=None, **kwargs) -> TuningResult:
+    """Convenience wrapper: build a :class:`NominalTuner` and solve once."""
+    return NominalTuner(system=system, **kwargs).tune(workload)

@@ -1,0 +1,161 @@
+"""KL-divergence uncertainty regions and their convex-duality machinery (§4).
+
+The robust tuning problem maximises the worst-case cost over the uncertainty
+region
+
+    U_w^ρ = { ŵ ≥ 0 : ŵᵀe = 1, I_KL(ŵ, w) ≤ ρ }.
+
+Ben-Tal et al. (2013) show that the inner maximisation has a tractable dual
+built on the conjugate of the KL divergence, ``φ*_KL(s) = eˢ − 1``.  This
+module provides:
+
+* the conjugate function and the dual objective term,
+* an exact solver for the *inner* problem (worst-case workload for a fixed
+  cost vector), used both to evaluate tunings and to cross-check the dual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from ..workloads.workload import Workload, kl_divergence
+
+
+def kl_conjugate(s: np.ndarray | float) -> np.ndarray | float:
+    """Conjugate of the KL divergence, ``φ*_KL(s) = eˢ − 1``."""
+    return np.exp(s) - 1.0
+
+
+@dataclass(frozen=True)
+class UncertaintyRegion:
+    """The KL ball ``U_w^ρ`` around an expected workload ``w``."""
+
+    expected: Workload
+    rho: float
+
+    def __post_init__(self) -> None:
+        if self.rho < 0:
+            raise ValueError("rho must be non-negative")
+
+    def contains(self, candidate: Workload, tolerance: float = 1e-9) -> bool:
+        """Whether ``candidate`` lies inside the region (up to ``tolerance``)."""
+        divergence = kl_divergence(candidate.as_array(), self.expected.as_array())
+        return bool(divergence <= self.rho + tolerance)
+
+    def divergence(self, candidate: Workload) -> float:
+        """KL divergence of ``candidate`` from the expected workload."""
+        return kl_divergence(candidate.as_array(), self.expected.as_array())
+
+    # ------------------------------------------------------------------
+    # Worst-case workload (inner maximisation)
+    # ------------------------------------------------------------------
+    def worst_case_workload(self, cost_vector: np.ndarray) -> Workload:
+        """Workload in the region that maximises ``ŵ · c`` for a fixed ``c``.
+
+        The maximiser has the exponential-tilting form
+        ``ŵ_i ∝ w_i · exp(c_i / λ)`` where the single scalar ``λ ≥ 0`` is
+        chosen so the KL constraint is tight (or ``λ → ∞``, i.e. ŵ = w, when
+        ``ρ = 0``).  We solve for ``λ`` by bisection on the KL divergence of
+        the tilted distribution, which is monotone in ``1/λ``.
+        """
+        cost = np.asarray(cost_vector, dtype=float)
+        if cost.shape != (4,):
+            raise ValueError("cost_vector must have exactly 4 components")
+        base = self.expected.as_array()
+        if self.rho == 0.0 or np.allclose(cost, cost[0]):
+            return self.expected
+
+        def tilted(inverse_lambda: float) -> np.ndarray:
+            weights = base * np.exp(inverse_lambda * (cost - cost.max()))
+            return weights / weights.sum()
+
+        def divergence_of(inverse_lambda: float) -> float:
+            return kl_divergence(tilted(inverse_lambda), base)
+
+        # The divergence grows monotonically with 1/λ from 0 towards the
+        # divergence of the point mass on argmax(c); cap the search there.
+        upper = 1.0
+        max_divergence = kl_divergence(
+            _argmax_vertex(base, cost), base
+        )
+        target = min(self.rho, max_divergence - 1e-12)
+        if target <= 1e-10:
+            # Effectively no uncertainty (or a degenerate region): the tilted
+            # solution coincides with the expected workload, and the bisection
+            # below would lose the sign change to floating-point noise.
+            return self.expected
+        while divergence_of(upper) < target and upper < 1e6:
+            upper *= 2.0
+        if divergence_of(upper) < target:
+            return Workload.from_array(tilted(upper))
+        solution = optimize.brentq(
+            lambda x: divergence_of(x) - target, 0.0, upper, xtol=1e-12
+        )
+        return Workload.from_array(tilted(solution))
+
+    def worst_case_cost(self, cost_vector: np.ndarray) -> float:
+        """Value of the inner maximisation ``max_{ŵ ∈ U} ŵ · c``."""
+        worst = self.worst_case_workload(np.asarray(cost_vector, dtype=float))
+        return float(np.dot(worst.as_array(), np.asarray(cost_vector, dtype=float)))
+
+
+def _argmax_vertex(base: np.ndarray, cost: np.ndarray) -> np.ndarray:
+    """Distribution concentrating all mass (minus support constraints) on the
+    costliest component; used to bound the reachable KL divergence."""
+    vertex = np.full_like(base, 1e-12)
+    vertex[int(np.argmax(cost))] = 1.0
+    return vertex / vertex.sum()
+
+
+def dual_objective(
+    cost_vector: np.ndarray,
+    expected: Workload,
+    rho: float,
+    lam: float,
+    eta: float,
+) -> float:
+    """The dual objective ``g(λ, η)`` of Equation (9) for a fixed cost vector.
+
+    ``g = η + ρλ + λ Σ_i w_i φ*_KL((c_i − η)/λ)``.  As ``λ → 0`` the term
+    tends to the max-constraint indicator; we guard against numerical
+    overflow by clipping the exponent.
+    """
+    if lam < 0:
+        raise ValueError("lambda must be non-negative")
+    cost = np.asarray(cost_vector, dtype=float)
+    weights = expected.as_array()
+    if lam == 0.0:
+        # Limit of the dual: eta must dominate every cost component.
+        overshoot = np.max(cost - eta)
+        return float(eta if overshoot <= 0 else np.inf)
+    scaled = np.clip((cost - eta) / lam, -700.0, 700.0)
+    return float(eta + rho * lam + lam * np.dot(weights, kl_conjugate(scaled)))
+
+
+def minimize_dual_for_cost(
+    cost_vector: np.ndarray, expected: Workload, rho: float
+) -> tuple[float, float, float]:
+    """Minimise the dual over ``(λ, η)`` for a fixed cost vector.
+
+    Returns ``(value, λ*, η*)``.  Used in tests to confirm strong duality:
+    the optimal dual value equals the exact worst-case cost computed by
+    :meth:`UncertaintyRegion.worst_case_cost`.
+    """
+    cost = np.asarray(cost_vector, dtype=float)
+
+    def objective(params: np.ndarray) -> float:
+        lam, eta = params
+        return dual_objective(cost, expected, rho, max(lam, 1e-12), eta)
+
+    start = np.array([1.0, float(np.mean(cost))])
+    result = optimize.minimize(
+        objective,
+        start,
+        method="Nelder-Mead",
+        options={"xatol": 1e-10, "fatol": 1e-12, "maxiter": 20_000},
+    )
+    lam, eta = result.x
+    return float(result.fun), float(max(lam, 0.0)), float(eta)

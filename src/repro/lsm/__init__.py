@@ -1,0 +1,28 @@
+"""Analytical LSM-tree substrate: system parameters, tunings and cost model."""
+
+from .bloom import (
+    monkey_bits_per_level,
+    monkey_false_positive_rates,
+    optimal_hash_count,
+    uniform_false_positive_rate,
+)
+from .cost_model import COST_COMPONENTS, CostBreakdown, LSMCostModel
+from .policy import ALL_POLICIES, Policy
+from .system import DEFAULT_SYSTEM, SystemConfig, simulator_system
+from .tuning import LSMTuning
+
+__all__ = [
+    "ALL_POLICIES",
+    "COST_COMPONENTS",
+    "CostBreakdown",
+    "DEFAULT_SYSTEM",
+    "LSMCostModel",
+    "LSMTuning",
+    "Policy",
+    "SystemConfig",
+    "monkey_bits_per_level",
+    "monkey_false_positive_rates",
+    "optimal_hash_count",
+    "simulator_system",
+    "uniform_false_positive_rate",
+]

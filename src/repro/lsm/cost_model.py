@@ -1,0 +1,213 @@
+"""Analytical I/O cost model of an LSM tree (Section 5 of the paper).
+
+The model expresses, for a tuning ``Φ = (T, h, π)``, the expected number of
+I/O operations of the four basic query types:
+
+* ``Z0(Φ)`` — point lookup with an empty result (Equation 12),
+* ``Z1(Φ)`` — point lookup with a non-empty result (Equation 14),
+* ``Q(Φ)``  — range lookup (Equation 15),
+* ``W(Φ)``  — write, amortised over the compactions it triggers (Equation 16).
+
+Given a workload ``w = (z0, z1, q, w)`` the expected per-query cost is the
+dot product ``C(w, Φ) = w · c(Φ)`` (Equation 2), and the throughput used in
+the evaluation is its reciprocal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bloom import monkey_false_positive_rates
+from .policy import Policy
+from .system import SystemConfig
+from .tuning import LSMTuning
+
+#: Names of the cost-vector components, in workload order.
+COST_COMPONENTS: tuple[str, ...] = ("empty_read", "non_empty_read", "range", "write")
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """The expected per-query I/O costs of one tuning, by query type."""
+
+    empty_read: float
+    non_empty_read: float
+    range_read: float
+    write: float
+
+    def as_array(self) -> np.ndarray:
+        """Return the cost vector ``c(Φ) = (Z0, Z1, Q, W)`` as a NumPy array."""
+        return np.array(
+            [self.empty_read, self.non_empty_read, self.range_read, self.write],
+            dtype=float,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the costs keyed by query-type name."""
+        return {
+            "empty_read": self.empty_read,
+            "non_empty_read": self.non_empty_read,
+            "range": self.range_read,
+            "write": self.write,
+        }
+
+
+class LSMCostModel:
+    """Endure's analytical cost model, bound to one :class:`SystemConfig`.
+
+    The model is deliberately a plain object with pure methods: every cost is
+    a deterministic function of the tuning, which is what allows the robust
+    optimisation to treat it as a smooth objective.
+    """
+
+    def __init__(self, system: SystemConfig | None = None) -> None:
+        self.system = system if system is not None else SystemConfig()
+
+    # ------------------------------------------------------------------
+    # Structural helpers
+    # ------------------------------------------------------------------
+    def num_levels(self, tuning: LSMTuning) -> int:
+        """Number of disk levels ``L(T)`` for this tuning."""
+        return self.system.num_levels(tuning.size_ratio, tuning.bits_per_entry)
+
+    def false_positive_rates(self, tuning: LSMTuning) -> np.ndarray:
+        """Per-level Monkey false-positive rates for this tuning."""
+        return monkey_false_positive_rates(
+            tuning.size_ratio, tuning.bits_per_entry, self.num_levels(tuning)
+        )
+
+    # ------------------------------------------------------------------
+    # Individual query costs
+    # ------------------------------------------------------------------
+    def empty_read_cost(self, tuning: LSMTuning) -> float:
+        """Expected I/Os of a zero-result point lookup, ``Z0(Φ)`` (Eq. 12).
+
+        Every run in the tree may trigger a false positive; under leveling
+        there is one run per level, under tiering up to ``T - 1`` runs per
+        level with identical false-positive rates.
+        """
+        rates = self.false_positive_rates(tuning)
+        total = float(np.sum(rates))
+        if tuning.policy is Policy.TIERING:
+            total *= tuning.size_ratio - 1.0
+        return total
+
+    def non_empty_read_cost(self, tuning: LSMTuning) -> float:
+        """Expected I/Os of a successful point lookup, ``Z1(Φ)`` (Eq. 14).
+
+        The lookup finds its key at level ``i`` with probability proportional
+        to the level's capacity; it pays one guaranteed I/O there plus the
+        expected false-positive I/Os of the levels above it (and, for
+        tiering, of the runs probed within level ``i`` before the match).
+        """
+        size_ratio = tuning.size_ratio
+        levels = self.num_levels(tuning)
+        rates = self.false_positive_rates(tuning)
+        buffer_entries = self.system.buffer_entries(tuning.bits_per_entry)
+
+        level_capacity = np.array(
+            [
+                (size_ratio - 1.0) * size_ratio ** (i - 1) * buffer_entries
+                for i in range(1, levels + 1)
+            ],
+            dtype=float,
+        )
+        full_tree = float(np.sum(level_capacity))
+        residence_probability = level_capacity / full_tree
+        preceding_fp = np.concatenate(([0.0], np.cumsum(rates)[:-1]))
+
+        if tuning.policy is Policy.LEVELING:
+            per_level_cost = 1.0 + preceding_fp
+        else:
+            # Runs above the match each cost a false-positive probe; within
+            # the matching level the entry is found, on average, in the middle
+            # run, incurring (T-2)/2 extra false-positive probes.
+            per_level_cost = (
+                1.0
+                + (size_ratio - 1.0) * preceding_fp
+                + (size_ratio - 2.0) / 2.0 * rates
+            )
+        return float(np.sum(residence_probability * per_level_cost))
+
+    def range_read_cost(self, tuning: LSMTuning) -> float:
+        """Expected I/Os of a range lookup, ``Q(Φ)`` (Eq. 15).
+
+        One seek per qualifying run plus a sequential scan whose length is
+        governed by the range selectivity ``S_RQ``.
+        """
+        levels = self.num_levels(tuning)
+        scan_pages = (
+            self.system.range_selectivity
+            * self.system.num_entries
+            / self.system.entries_per_page
+        )
+        if tuning.policy is Policy.LEVELING:
+            seeks = float(levels)
+        else:
+            seeks = float(levels) * (tuning.size_ratio - 1.0)
+        return scan_pages + seeks
+
+    def write_cost(self, tuning: LSMTuning) -> float:
+        """Amortised I/Os of one write, ``W(Φ)`` (Eq. 16).
+
+        Every entry is eventually merged through all ``L(T)`` levels; under
+        leveling it takes part in roughly ``(T-1)/2`` merges per level, under
+        tiering ``(T-1)/T``.  Costs are expressed per page (``/B``) and writes
+        are weighted by the device's read/write asymmetry.
+        """
+        levels = self.num_levels(tuning)
+        entries_per_page = self.system.entries_per_page
+        asymmetry = 1.0 + self.system.read_write_asymmetry
+        if tuning.policy is Policy.LEVELING:
+            merges = (tuning.size_ratio - 1.0) / 2.0
+        else:
+            merges = (tuning.size_ratio - 1.0) / tuning.size_ratio
+        return levels / entries_per_page * merges * asymmetry
+
+    # ------------------------------------------------------------------
+    # Aggregate costs
+    # ------------------------------------------------------------------
+    def cost_breakdown(self, tuning: LSMTuning) -> CostBreakdown:
+        """All four per-query costs of a tuning as a :class:`CostBreakdown`."""
+        return CostBreakdown(
+            empty_read=self.empty_read_cost(tuning),
+            non_empty_read=self.non_empty_read_cost(tuning),
+            range_read=self.range_read_cost(tuning),
+            write=self.write_cost(tuning),
+        )
+
+    def cost_vector(self, tuning: LSMTuning) -> np.ndarray:
+        """The cost vector ``c(Φ) = (Z0, Z1, Q, W)``."""
+        return self.cost_breakdown(tuning).as_array()
+
+    def workload_cost(self, workload, tuning: LSMTuning) -> float:
+        """Expected cost ``C(w, Φ) = w · c(Φ)`` of one query from ``workload``.
+
+        ``workload`` may be anything exposing ``as_array()`` (a
+        :class:`repro.workloads.Workload`) or a length-4 sequence ordered as
+        ``(z0, z1, q, w)``.
+        """
+        weights = _workload_array(workload)
+        return float(np.dot(weights, self.cost_vector(tuning)))
+
+    def throughput(self, workload, tuning: LSMTuning) -> float:
+        """Throughput proxy ``1 / C(w, Φ)`` used throughout the evaluation."""
+        cost = self.workload_cost(workload, tuning)
+        if cost <= 0:
+            raise ValueError("workload cost must be positive to define throughput")
+        return 1.0 / cost
+
+
+def _workload_array(workload) -> np.ndarray:
+    """Coerce a workload-like object into a length-4 float array."""
+    if hasattr(workload, "as_array"):
+        weights = np.asarray(workload.as_array(), dtype=float)
+    else:
+        weights = np.asarray(workload, dtype=float)
+    if weights.shape != (4,):
+        raise ValueError(f"expected a length-4 workload vector, got shape {weights.shape}")
+    if np.any(weights < 0):
+        raise ValueError("workload proportions must be non-negative")
+    return weights

@@ -1,0 +1,58 @@
+"""Compaction policies supported by the LSM-tree model and simulator.
+
+The paper (and this reproduction) considers the two classical merge policies:
+
+* **Leveling** — each level holds at most one sorted run; a run arriving from
+  the level above is immediately sort-merged into the resident run.  Reads are
+  cheap (one run per level), writes pay repeated merges.
+* **Tiering** — each level accumulates up to ``T - 1`` runs before compacting
+  them together into the next level.  Writes are cheap, reads have to examine
+  several runs per level.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Policy(enum.Enum):
+    """Merge/compaction policy of an LSM tree."""
+
+    LEVELING = "leveling"
+    TIERING = "tiering"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @classmethod
+    def from_value(cls, value: "Policy | str") -> "Policy":
+        """Coerce a user-supplied value (enum member or string) to a policy.
+
+        Accepts the enum member itself, its ``value`` string, or common
+        abbreviations (``"level"``/``"tier"``, ``"L"``/``"T"``) so that
+        configuration files and CLI flags stay pleasant to write.
+        """
+        if isinstance(value, cls):
+            return value
+        if not isinstance(value, str):
+            raise TypeError(f"cannot interpret {value!r} as a compaction policy")
+        norm = value.strip().lower()
+        aliases = {
+            "leveling": cls.LEVELING,
+            "level": cls.LEVELING,
+            "levelled": cls.LEVELING,
+            "leveled": cls.LEVELING,
+            "l": cls.LEVELING,
+            "tiering": cls.TIERING,
+            "tier": cls.TIERING,
+            "tiered": cls.TIERING,
+            "t": cls.TIERING,
+        }
+        try:
+            return aliases[norm]
+        except KeyError as exc:
+            raise ValueError(f"unknown compaction policy {value!r}") from exc
+
+
+#: All policies, in a stable order (useful for exhaustive searches).
+ALL_POLICIES: tuple[Policy, ...] = (Policy.LEVELING, Policy.TIERING)

@@ -1,0 +1,117 @@
+"""The tunable design parameters of an LSM tree.
+
+A tuning ``Φ = (T, h, π)`` fixes the size ratio between levels, the number of
+Bloom-filter bits allocated per entry (equivalently ``m_filt``) and the
+compaction policy.  The write-buffer memory is derived from the system's
+total memory budget: ``m_buf = m − m_filt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping
+
+from .policy import Policy
+from .system import SystemConfig
+
+
+@dataclass(frozen=True)
+class LSMTuning:
+    """A concrete LSM-tree tuning configuration.
+
+    Parameters
+    ----------
+    size_ratio:
+        Size ratio ``T`` between consecutive levels (``T >= 2``).  Stored as a
+        float because the optimiser works in a continuous relaxation; use
+        :meth:`rounded` before deploying on the simulator.
+    bits_per_entry:
+        Bloom-filter budget ``h = m_filt / N`` in bits per entry.
+    policy:
+        Compaction policy (leveling or tiering).
+    """
+
+    size_ratio: float
+    bits_per_entry: float
+    policy: Policy
+
+    def __post_init__(self) -> None:
+        if self.size_ratio < 2.0:
+            raise ValueError(f"size_ratio must be >= 2, got {self.size_ratio}")
+        if self.bits_per_entry < 0.0:
+            raise ValueError(
+                f"bits_per_entry must be non-negative, got {self.bits_per_entry}"
+            )
+        object.__setattr__(self, "policy", Policy.from_value(self.policy))
+
+    # ------------------------------------------------------------------
+    # Derived memory quantities
+    # ------------------------------------------------------------------
+    def filter_memory_bits(self, system: SystemConfig) -> float:
+        """Total memory devoted to Bloom filters (``m_filt``) in bits."""
+        return system.filter_memory_bits(self.bits_per_entry)
+
+    def buffer_memory_bits(self, system: SystemConfig) -> float:
+        """Memory left for the write buffer (``m_buf``) in bits."""
+        return system.buffer_memory_bits(self.bits_per_entry)
+
+    def buffer_memory_bytes(self, system: SystemConfig) -> float:
+        """Write-buffer memory in bytes."""
+        return system.buffer_memory_bytes(self.bits_per_entry)
+
+    def num_levels(self, system: SystemConfig) -> int:
+        """Number of disk levels ``L(T)`` this tuning produces."""
+        return system.num_levels(self.size_ratio, self.bits_per_entry)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def rounded(self) -> "LSMTuning":
+        """Return a copy with an integer size ratio suitable for deployment.
+
+        Real LSM engines cannot use fractional size ratios, so — like the
+        paper does when deploying on RocksDB — we round the continuous value
+        produced by the optimiser up to the nearest integer (never below 2).
+        """
+        rounded_ratio = max(2, round(self.size_ratio))
+        return replace(self, size_ratio=float(rounded_ratio))
+
+    def with_policy(self, policy: Policy | str) -> "LSMTuning":
+        """Return a copy with a different compaction policy."""
+        return replace(self, policy=Policy.from_value(policy))
+
+    def clamped(self, system: SystemConfig) -> "LSMTuning":
+        """Return a copy with parameters clamped to the system's legal ranges."""
+        ratio = min(max(self.size_ratio, 2.0), system.max_size_ratio)
+        bits = min(
+            max(self.bits_per_entry, system.min_bits_per_entry),
+            system.max_bits_per_entry,
+        )
+        return replace(self, size_ratio=ratio, bits_per_entry=bits)
+
+    # ------------------------------------------------------------------
+    # Serialisation / display
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a plain dictionary."""
+        return {
+            "size_ratio": self.size_ratio,
+            "bits_per_entry": self.bits_per_entry,
+            "policy": self.policy.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LSMTuning":
+        """Build a tuning from a mapping produced by :meth:`to_dict`."""
+        return cls(
+            size_ratio=float(data["size_ratio"]),
+            bits_per_entry=float(data["bits_per_entry"]),
+            policy=Policy.from_value(data["policy"]),
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-line description, matching the paper's figures."""
+        return (
+            f"π: {self.policy.value}, T: {self.size_ratio:.1f}, "
+            f"h: {self.bits_per_entry:.1f}"
+        )

@@ -1,0 +1,28 @@
+"""Pure-Python LSM-tree storage engine with I/O accounting (RocksDB substitute)."""
+
+from .bloom_filter import BloomFilter
+from .disk import IOCounters, VirtualDisk
+from .executor import (
+    ExecutorConfig,
+    SequenceMeasurement,
+    SessionMeasurement,
+    WorkloadExecutor,
+)
+from .lsm_tree import LSMTree, TreeStats
+from .memtable import Memtable
+from .run import PageSpan, SortedRun
+
+__all__ = [
+    "BloomFilter",
+    "ExecutorConfig",
+    "IOCounters",
+    "LSMTree",
+    "Memtable",
+    "PageSpan",
+    "SequenceMeasurement",
+    "SessionMeasurement",
+    "SortedRun",
+    "TreeStats",
+    "VirtualDisk",
+    "WorkloadExecutor",
+]

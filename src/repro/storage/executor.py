@@ -1,0 +1,197 @@
+"""Execute workload sessions against the simulated LSM tree.
+
+This is the system-based measurement harness (§8.1–8.2): it bulk-loads a
+database instance per tuning, replays session sequences of concrete queries,
+and reports the same quantities the paper reads out of RocksDB's statistics
+module — average I/Os per query (with compaction traffic amortised over the
+writes of the session) and a simulated per-query latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..lsm.system import SystemConfig
+from ..lsm.tuning import LSMTuning
+from ..workloads.sessions import Session, SessionSequence
+from ..workloads.traces import KeySpace, Operation, OperationType, TraceGenerator
+from ..workloads.workload import Workload
+from .disk import VirtualDisk
+from .lsm_tree import LSMTree
+
+
+@dataclass(frozen=True)
+class SessionMeasurement:
+    """Measured behaviour of one session under one tuning."""
+
+    label: str
+    workload: Workload
+    num_queries: int
+    query_reads: int
+    query_writes: int
+    flush_writes: int
+    compaction_reads: int
+    compaction_writes: int
+    latency_us_per_query: float
+
+    @property
+    def ios_per_query(self) -> float:
+        """Average I/Os per query, compactions amortised over the session.
+
+        Mirrors §8.1: logical block accesses of reads, plus bytes flushed and
+        compaction traffic redistributed across the session's queries.
+        """
+        total = (
+            self.query_reads
+            + self.query_writes
+            + self.flush_writes
+            + self.compaction_reads
+            + self.compaction_writes
+        )
+        return total / max(1, self.num_queries)
+
+    @property
+    def read_ios_per_query(self) -> float:
+        """Average read I/Os per query caused directly by queries."""
+        return self.query_reads / max(1, self.num_queries)
+
+
+@dataclass(frozen=True)
+class SequenceMeasurement:
+    """Measurements of a whole session sequence under one tuning."""
+
+    tuning: LSMTuning
+    sessions: tuple[SessionMeasurement, ...]
+
+    @property
+    def average_ios_per_query(self) -> float:
+        """I/Os per query averaged over all sessions of the sequence."""
+        return float(np.mean([s.ios_per_query for s in self.sessions]))
+
+    @property
+    def average_latency_us(self) -> float:
+        """Simulated latency per query averaged over all sessions."""
+        return float(np.mean([s.latency_us_per_query for s in self.sessions]))
+
+    def session_series(self) -> list[dict[str, float | str]]:
+        """Per-session rows suitable for tabular reporting."""
+        return [
+            {
+                "session": s.label,
+                "workload": s.workload.describe(),
+                "ios_per_query": s.ios_per_query,
+                "latency_us_per_query": s.latency_us_per_query,
+            }
+            for s in self.sessions
+        ]
+
+
+@dataclass
+class ExecutorConfig:
+    """Knobs of the system-measurement harness."""
+
+    #: Number of concrete queries executed per workload of a session.
+    queries_per_workload: int = 2_000
+    #: Number of keys touched by one short range query.
+    range_scan_keys: int = 16
+    #: Simulated page read latency in microseconds.
+    read_latency_us: float = 100.0
+    #: Simulated page write latency in microseconds.
+    write_latency_us: float = 100.0
+    #: Seed controlling trace generation.
+    seed: int = 97
+
+
+class WorkloadExecutor:
+    """Runs session sequences against freshly built LSM-tree instances."""
+
+    def __init__(
+        self, system: SystemConfig, config: ExecutorConfig | None = None
+    ) -> None:
+        self.system = system
+        self.config = config if config is not None else ExecutorConfig()
+        self.key_space = KeySpace.build(system.num_entries, seed=self.config.seed)
+
+    # ------------------------------------------------------------------
+    # Database construction
+    # ------------------------------------------------------------------
+    def build_tree(self, tuning: LSMTuning) -> LSMTree:
+        """Instantiate and bulk-load a tree for one tuning.
+
+        Every tuning gets the exact same initial key set, mirroring the
+        paper's identical bulk-loading across database instances.
+        """
+        disk = VirtualDisk(
+            read_latency_us=self.config.read_latency_us,
+            write_latency_us=self.config.write_latency_us,
+        )
+        tree = LSMTree(tuning=tuning, system=self.system, disk=disk)
+        tree.bulk_load(self.key_space.existing)
+        tree.disk.reset()
+        return tree
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute_operations(
+        self, tree: LSMTree, operations: list[Operation]
+    ) -> None:
+        for op in operations:
+            if op.kind is OperationType.PUT:
+                tree.put(op.key)
+            elif op.kind is OperationType.RANGE:
+                tree.range_query(op.key, op.key + op.scan_length)
+            else:
+                tree.get(op.key)
+
+    def run_session(
+        self, tree: LSMTree, session: Session, trace: TraceGenerator
+    ) -> SessionMeasurement:
+        """Execute one session on an existing tree and measure its I/O."""
+        before = tree.disk.snapshot()
+        num_queries = 0
+        for workload in session.workloads:
+            operations = trace.operations(workload, self.config.queries_per_workload)
+            num_queries += len(operations)
+            self._execute_operations(tree, operations)
+        delta = tree.disk.counters.delta(before)
+        latency = tree.disk.latency_us(delta) / max(1, num_queries)
+        return SessionMeasurement(
+            label=session.label,
+            workload=session.average,
+            num_queries=num_queries,
+            query_reads=delta.query_reads,
+            query_writes=delta.query_writes,
+            flush_writes=delta.flush_writes,
+            compaction_reads=delta.compaction_reads,
+            compaction_writes=delta.compaction_writes,
+            latency_us_per_query=latency,
+        )
+
+    def run_sequence(
+        self, tuning: LSMTuning, sequence: SessionSequence
+    ) -> SequenceMeasurement:
+        """Bulk-load a fresh tree for ``tuning`` and execute a full sequence."""
+        tree = self.build_tree(tuning)
+        trace = TraceGenerator(
+            key_space=self.key_space,
+            range_scan_keys=self.config.range_scan_keys,
+            seed=self.config.seed,
+        )
+        measurements = tuple(
+            self.run_session(tree, session, trace) for session in sequence
+        )
+        return SequenceMeasurement(tuning=tree.tuning, sessions=measurements)
+
+    def compare(
+        self,
+        tunings: dict[str, LSMTuning],
+        sequence: SessionSequence,
+    ) -> dict[str, SequenceMeasurement]:
+        """Run the same sequence under several tunings (nominal vs robust)."""
+        return {
+            name: self.run_sequence(tuning, sequence)
+            for name, tuning in tunings.items()
+        }

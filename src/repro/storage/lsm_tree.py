@@ -1,0 +1,383 @@
+"""A pure-Python LSM-tree storage engine with I/O accounting.
+
+This is the reproduction's stand-in for RocksDB in the paper's system-based
+evaluation (§8).  It implements the structure the analytical model assumes:
+
+* an in-memory write buffer (memtable) holding ``m_buf / E`` entries,
+* exponentially growing disk levels with size ratio ``T``,
+* classic *leveling* and *tiering* compaction,
+* one Bloom filter per run with Monkey-style per-level allocation,
+* fence pointers (one per page) so point lookups read at most one page per
+  probed run,
+* a :class:`~repro.storage.disk.VirtualDisk` that records every page read
+  and written, split into query/flush/compaction traffic.
+
+Values are not materialised — every entry has the fixed size configured in
+the :class:`~repro.lsm.system.SystemConfig` — because the experiments only
+measure I/O counts and their derived latency, never value contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..lsm.bloom import monkey_bits_per_level
+from ..lsm.policy import Policy
+from ..lsm.system import SystemConfig
+from ..lsm.tuning import LSMTuning
+from .disk import VirtualDisk
+from .memtable import Memtable
+from .run import SortedRun
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """A snapshot of the tree's shape."""
+
+    num_entries: int
+    num_levels: int
+    runs_per_level: tuple[int, ...]
+    entries_per_level: tuple[int, ...]
+    memtable_entries: int
+    filter_memory_bits: int
+
+
+class LSMTree:
+    """Simulated LSM tree configured by a tuning and a system description.
+
+    Class attributes
+    ----------------
+    BULK_LOAD_FILL_FRACTION:
+        Fraction of each level's capacity used when bulk loading; the
+        remaining headroom prevents the very first post-load flush from
+        cascading into a rewrite of the largest level.
+
+    Parameters
+    ----------
+    tuning:
+        The LSM tuning ``Φ = (T, h, π)`` to deploy.  Fractional size ratios
+        are rounded up exactly as the paper does when deploying on RocksDB.
+    system:
+        System parameters (entry size, page size, memory budget, …).  Use
+        :func:`repro.lsm.system.simulator_system` for laptop-scale instances.
+    disk:
+        Optional pre-existing virtual disk (e.g. shared across measurements).
+    seed:
+        Seed for the per-run Bloom-filter hashes.
+    """
+
+    #: Fraction of a level's capacity that bulk loading fills (see class docs).
+    BULK_LOAD_FILL_FRACTION = 0.85
+
+    def __init__(
+        self,
+        tuning: LSMTuning,
+        system: SystemConfig,
+        disk: VirtualDisk | None = None,
+        seed: int = 1,
+    ) -> None:
+        self.system = system
+        self.tuning = tuning.clamped(system).rounded()
+        self.policy = self.tuning.policy
+        self.size_ratio = int(self.tuning.size_ratio)
+        self.disk = disk if disk is not None else VirtualDisk()
+        self._seed = seed
+        self._run_counter = 0
+
+        self.entries_per_page = system.entries_per_page
+        buffer_entries = int(system.buffer_entries(self.tuning.bits_per_entry))
+        self.buffer_entries = max(self.entries_per_page, buffer_entries)
+        self.memtable = Memtable(self.buffer_entries)
+        #: Disk levels; ``levels[i]`` holds the runs of disk level ``i + 1``,
+        #: ordered from most to least recent.
+        self.levels: list[list[SortedRun]] = []
+
+        self._estimated_levels = system.num_levels(
+            self.tuning.size_ratio, self.tuning.bits_per_entry
+        )
+        level_entries = [
+            self.level_capacity_entries(i) for i in range(1, self._estimated_levels + 1)
+        ]
+        self._bits_per_level = monkey_bits_per_level(
+            self.tuning.size_ratio,
+            self.tuning.bits_per_entry,
+            self._estimated_levels,
+            level_entries,
+        )
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+    def level_capacity_entries(self, level: int) -> int:
+        """Capacity of disk level ``level`` in entries: ``(T-1) T^(i-1) · buf``."""
+        if level < 1:
+            raise ValueError("disk levels are numbered from 1")
+        return int(
+            (self.size_ratio - 1)
+            * self.size_ratio ** (level - 1)
+            * self.buffer_entries
+        )
+
+    def _bits_for_level(self, level: int) -> float:
+        """Monkey bits-per-entry for the filters of disk level ``level``."""
+        index = min(level, self._estimated_levels) - 1
+        if index < 0 or self._bits_per_level.size == 0:
+            return 0.0
+        return float(self._bits_per_level[index])
+
+    def _new_run(self, keys: np.ndarray, tombstones: np.ndarray, level: int) -> SortedRun:
+        self._run_counter += 1
+        return SortedRun(
+            keys=keys,
+            entries_per_page=self.entries_per_page,
+            bits_per_entry=self._bits_for_level(level),
+            tombstones=tombstones,
+            seed=self._seed + self._run_counter,
+        )
+
+    def _ensure_level(self, level: int) -> None:
+        while len(self.levels) < level:
+            self.levels.append([])
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, key: int) -> None:
+        """Insert or update a key; may trigger a flush and compactions."""
+        self.memtable.put(key)
+        if self.memtable.is_full:
+            self.flush()
+
+    def delete(self, key: int) -> None:
+        """Delete a key by writing a tombstone."""
+        self.memtable.delete(key)
+        if self.memtable.is_full:
+            self.flush()
+
+    def flush(self) -> None:
+        """Flush the memtable into disk level 1."""
+        if self.memtable.is_empty:
+            return
+        keys, tombstones = self.memtable.sorted_items()
+        self.memtable.clear()
+        run = self._new_run(keys, tombstones, level=1)
+        self.disk.write_pages(run.num_pages, flush=True)
+        self._install_run(run, level=1)
+
+    def _install_run(self, run: SortedRun, level: int) -> None:
+        """Add ``run`` to ``level`` and restore the tree's size invariants."""
+        self._ensure_level(level)
+        runs = self.levels[level - 1]
+        if self.policy is Policy.LEVELING:
+            if runs:
+                merged = self._merge_runs([run] + runs, level)
+                self.levels[level - 1] = [merged]
+            else:
+                self.levels[level - 1] = [run]
+            self._maybe_spill_leveling(level)
+        else:
+            runs.insert(0, run)
+            self._maybe_compact_tiering(level)
+
+    def _merge_runs(self, runs: list[SortedRun], target_level: int) -> SortedRun:
+        """Sort-merge runs, charging compaction I/O to the virtual disk."""
+        input_pages = sum(r.num_pages for r in runs)
+        self.disk.read_pages(input_pages, compaction=True)
+        is_last_level = target_level >= len(self.levels) or not any(
+            self.levels[target_level:]
+        )
+        merged = SortedRun.merge(
+            runs,
+            entries_per_page=self.entries_per_page,
+            bits_per_entry=self._bits_for_level(target_level),
+            drop_tombstones=is_last_level,
+            seed=self._seed + self._run_counter,
+        )
+        self._run_counter += 1
+        self.disk.write_pages(merged.num_pages, compaction=True)
+        return merged
+
+    def _maybe_spill_leveling(self, level: int) -> None:
+        """Cascade over-full leveled runs into deeper levels."""
+        current = level
+        while True:
+            self._ensure_level(current)
+            runs = self.levels[current - 1]
+            if not runs:
+                return
+            run = runs[0]
+            if run.num_entries <= self.level_capacity_entries(current):
+                return
+            # Move the over-full run one level down, merging if necessary.
+            self.levels[current - 1] = []
+            self._ensure_level(current + 1)
+            below = self.levels[current]
+            if below:
+                merged = self._merge_runs([run] + below, current + 1)
+            else:
+                # Trivial move: nothing to merge with, so the run is adopted
+                # by the level below without any I/O (RocksDB does the same
+                # when the target level is empty).
+                merged = run
+            self.levels[current] = [merged]
+            current += 1
+
+    def _maybe_compact_tiering(self, level: int) -> None:
+        """Merge a tiered level once it has accumulated ``T`` runs."""
+        current = level
+        while True:
+            self._ensure_level(current)
+            runs = self.levels[current - 1]
+            if len(runs) < self.size_ratio:
+                return
+            merged = self._merge_runs(list(runs), current + 1)
+            self.levels[current - 1] = []
+            self._ensure_level(current + 1)
+            self.levels[current].insert(0, merged)
+            current += 1
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> bool:
+        """Point lookup; returns whether the key is live in the tree.
+
+        Probes the memtable first (no I/O), then every run from the smallest
+        to the largest level, newest run first within a level, charging one
+        page read for every run whose Bloom filter and fence pointers fail to
+        rule it out.
+        """
+        present, tombstone = self.memtable.get(key)
+        if present:
+            return not tombstone
+        for runs in self.levels:
+            for run in runs:
+                found, tombstone, pages = run.lookup(key)
+                if pages:
+                    self.disk.read_pages(pages)
+                if found:
+                    return not tombstone
+        return False
+
+    def range_query(self, start_key: int, end_key: int) -> int:
+        """Range lookup; returns the number of live keys in the interval.
+
+        Every overlapping run pays at least one page read (the seek) plus the
+        sequential pages covered by the interval; results from all runs are
+        merged so each key is counted once.
+        """
+        if end_key < start_key:
+            return 0
+        collected = [self.memtable.scan(start_key, end_key)]
+        for runs in self.levels:
+            for run in runs:
+                keys, pages = run.scan(start_key, end_key)
+                if pages:
+                    self.disk.read_pages(pages)
+                if keys.size:
+                    collected.append(keys)
+        if not collected:
+            return 0
+        merged = np.unique(np.concatenate(collected))
+        return int(merged.size)
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    def bulk_load(self, keys: np.ndarray) -> None:
+        """Populate the tree with sorted unique keys without charging I/O.
+
+        Mirrors the paper's experimental setup: every database instance is
+        bulk-loaded with the same data before measurements start, and that
+        loading cost is not part of any reported metric.  Keys are placed
+        bottom-up so the tree starts in a steady-state shape (deep levels
+        nearly full, shallower levels holding the remainder).  Each level is
+        filled only to :data:`BULK_LOAD_FILL_FRACTION` of its capacity so the
+        first trickle of writes does not immediately trigger a full rewrite
+        of the largest level.
+        """
+        keys = np.unique(np.asarray(keys, dtype=np.int64))
+        remaining = keys
+        placements: list[tuple[int, np.ndarray]] = []
+        # Leveled compaction triggers on level *size*, so bulk loading leaves
+        # headroom below each level's capacity; tiered compaction triggers on
+        # the *run count*, so tiered levels can be loaded to full capacity.
+        fill_fraction = (
+            self.BULK_LOAD_FILL_FRACTION if self.policy is Policy.LEVELING else 1.0
+        )
+        # Determine how many levels a tree of this size needs.
+        total = keys.size
+        level = 1
+        cumulative = 0
+        while cumulative < total:
+            cumulative += int(fill_fraction * self.level_capacity_entries(level))
+            level += 1
+        deepest = max(1, level - 1)
+        # Fill from the deepest level upwards so lower levels are the fullest.
+        for lvl in range(deepest, 0, -1):
+            if remaining.size == 0:
+                break
+            capacity = int(fill_fraction * self.level_capacity_entries(lvl))
+            take = min(capacity, remaining.size)
+            placements.append((lvl, remaining[remaining.size - take :]))
+            remaining = remaining[: remaining.size - take]
+        for lvl, chunk in placements:
+            self._ensure_level(lvl)
+            for piece in self._bulk_load_runs(chunk, lvl):
+                run = self._new_run(piece, np.zeros(piece.size, dtype=bool), lvl)
+                self.levels[lvl - 1].append(run)
+        # Anything that still did not fit goes to the memtable (rare).
+        for key in remaining:
+            self.memtable.put(int(key))
+
+    def _bulk_load_runs(self, chunk: np.ndarray, level: int) -> list[np.ndarray]:
+        """Split a bulk-loaded level into runs matching the policy's steady state.
+
+        Leveling keeps a single run per level.  Tiering accumulates up to
+        ``T - 1`` runs per level, each the size of a compaction arriving from
+        the level above, so a bulk-loaded tiered tree must expose the same
+        number of runs a naturally filled one would — otherwise measured read
+        costs would be unrealistically low.
+        """
+        if self.policy is Policy.LEVELING or chunk.size == 0:
+            return [chunk]
+        natural_run_entries = max(
+            self.buffer_entries,
+            self.level_capacity_entries(level) // max(self.size_ratio - 1, 1),
+        )
+        num_runs = int(np.clip(
+            np.ceil(chunk.size / natural_run_entries), 1, self.size_ratio - 1
+        ))
+        # Interleave keys across runs so every run spans the whole key domain,
+        # as overlapping tiered runs do in practice.
+        return [chunk[offset::num_runs] for offset in range(num_runs)]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        """Total number of entries resident in the tree (including buffer)."""
+        return len(self.memtable) + sum(
+            run.num_entries for runs in self.levels for run in runs
+        )
+
+    def stats(self) -> TreeStats:
+        """Snapshot of the tree's current shape and memory usage."""
+        runs_per_level = tuple(len(runs) for runs in self.levels)
+        entries_per_level = tuple(
+            sum(run.num_entries for run in runs) for runs in self.levels
+        )
+        filter_bits = sum(
+            run.filter_size_bits for runs in self.levels for run in runs
+        )
+        return TreeStats(
+            num_entries=self.num_entries,
+            num_levels=len(self.levels),
+            runs_per_level=runs_per_level,
+            entries_per_level=entries_per_level,
+            memtable_entries=len(self.memtable),
+            filter_memory_bits=filter_bits,
+        )

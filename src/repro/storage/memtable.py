@@ -1,0 +1,83 @@
+"""The in-memory write buffer (Level 0) of the simulated LSM tree."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Memtable:
+    """Mutable, in-memory buffer that absorbs writes until it fills up.
+
+    Keys are 64-bit integers; the simulator does not materialise values (all
+    entries have the configured fixed size), so the memtable only tracks keys
+    and tombstone flags.  Lookups in the memtable cost no I/O, matching a real
+    engine where Level 0 lives in RAM.
+    """
+
+    def __init__(self, capacity_entries: int) -> None:
+        if capacity_entries <= 0:
+            raise ValueError("capacity_entries must be positive")
+        self.capacity_entries = capacity_entries
+        self._entries: dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def put(self, key: int) -> None:
+        """Insert or update ``key``."""
+        self._entries[int(key)] = False
+
+    def delete(self, key: int) -> None:
+        """Record a tombstone for ``key``."""
+        self._entries[int(key)] = True
+
+    def clear(self) -> None:
+        """Empty the buffer (after a flush)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> tuple[bool, bool]:
+        """Return ``(present, is_tombstone)`` for ``key``."""
+        key = int(key)
+        if key in self._entries:
+            return True, self._entries[key]
+        return False, False
+
+    def scan(self, start_key: int, end_key: int) -> np.ndarray:
+        """Live keys in ``[start_key, end_key]`` currently buffered."""
+        keys = [
+            key
+            for key, tombstone in self._entries.items()
+            if start_key <= key <= end_key and not tombstone
+        ]
+        return np.array(sorted(keys), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the buffer has reached its capacity and must be flushed."""
+        return len(self._entries) >= self.capacity_entries
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the buffer currently holds no entries."""
+        return not self._entries
+
+    def sorted_items(self) -> tuple[np.ndarray, np.ndarray]:
+        """Contents sorted by key: ``(keys, tombstone_mask)``."""
+        if not self._entries:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        keys = np.fromiter(self._entries.keys(), dtype=np.int64, count=len(self._entries))
+        order = np.argsort(keys)
+        keys = keys[order]
+        tombstones = np.fromiter(
+            self._entries.values(), dtype=bool, count=len(self._entries)
+        )[order]
+        return keys, tombstones

@@ -1,0 +1,266 @@
+"""Immutable sorted runs with fence pointers and per-run Bloom filters.
+
+A sorted run is the on-disk unit of an LSM tree: a key-ordered sequence of
+entries laid out in fixed-size pages.  The simulator keeps, in memory, the
+run's Bloom filter and its fence pointers (smallest key per page), exactly
+the acceleration structures the paper describes; the entries themselves are
+"on disk", i.e. every page touched is charged to the virtual disk by the
+caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bloom_filter import BloomFilter
+
+
+@dataclass(frozen=True)
+class PageSpan:
+    """A contiguous range of pages within one run."""
+
+    first_page: int
+    last_page: int
+
+    @property
+    def num_pages(self) -> int:
+        """Number of pages in the span (0 if empty)."""
+        if self.last_page < self.first_page:
+            return 0
+        return self.last_page - self.first_page + 1
+
+
+class SortedRun:
+    """One immutable sorted run of an LSM tree level.
+
+    Parameters
+    ----------
+    keys:
+        Sorted, unique integer keys of the run.
+    entries_per_page:
+        How many entries fit in one disk page (``B``).
+    bits_per_entry:
+        Bloom-filter budget for this run; 0 disables the filter.
+    tombstones:
+        Optional boolean mask marking deleted keys.
+    seed:
+        Hash seed for the run's Bloom filter.
+    """
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        entries_per_page: int,
+        bits_per_entry: float = 0.0,
+        tombstones: np.ndarray | None = None,
+        seed: int = 0,
+    ) -> None:
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.ndim != 1:
+            raise ValueError("keys must be a one-dimensional array")
+        if keys.size > 1 and np.any(np.diff(keys) <= 0):
+            raise ValueError("keys must be strictly increasing")
+        if entries_per_page <= 0:
+            raise ValueError("entries_per_page must be positive")
+        self._keys = keys
+        self.entries_per_page = entries_per_page
+        self.bits_per_entry = float(bits_per_entry)
+        if tombstones is None:
+            self._tombstones = np.zeros(keys.size, dtype=bool)
+        else:
+            tombstones = np.asarray(tombstones, dtype=bool)
+            if tombstones.shape != keys.shape:
+                raise ValueError("tombstones mask must match keys")
+            self._tombstones = tombstones
+
+        self._filter = BloomFilter(
+            expected_entries=int(keys.size), bits_per_entry=bits_per_entry, seed=seed
+        )
+        if keys.size:
+            self._filter.add_many(keys.astype(np.uint64))
+        # Fence pointers: smallest key of each page, kept in memory.
+        if keys.size:
+            self._fences = keys[:: entries_per_page].copy()
+        else:
+            self._fences = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Size / structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._keys.size)
+
+    @property
+    def num_entries(self) -> int:
+        """Number of entries stored in the run."""
+        return int(self._keys.size)
+
+    @property
+    def num_pages(self) -> int:
+        """Number of disk pages the run occupies."""
+        if self._keys.size == 0:
+            return 0
+        return int(np.ceil(self._keys.size / self.entries_per_page))
+
+    @property
+    def min_key(self) -> int:
+        """Smallest key in the run (undefined for an empty run)."""
+        if self._keys.size == 0:
+            raise ValueError("empty run has no minimum key")
+        return int(self._keys[0])
+
+    @property
+    def max_key(self) -> int:
+        """Largest key in the run (undefined for an empty run)."""
+        if self._keys.size == 0:
+            raise ValueError("empty run has no maximum key")
+        return int(self._keys[-1])
+
+    @property
+    def keys(self) -> np.ndarray:
+        """The run's keys (read-only view)."""
+        view = self._keys.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def tombstones(self) -> np.ndarray:
+        """Boolean mask of deleted keys (read-only view)."""
+        view = self._tombstones.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def bloom_filter(self) -> BloomFilter:
+        """The run's Bloom filter."""
+        return self._filter
+
+    @property
+    def filter_size_bits(self) -> int:
+        """Memory used by the run's Bloom filter, in bits."""
+        return self._filter.size_bits
+
+    # ------------------------------------------------------------------
+    # Point lookups
+    # ------------------------------------------------------------------
+    def may_contain(self, key: int) -> bool:
+        """Filter + fence-pointer pre-check, costing no I/O."""
+        if self._keys.size == 0:
+            return False
+        if key < self.min_key or key > self.max_key:
+            return False
+        return self._filter.might_contain(int(key))
+
+    def page_of(self, key: int) -> int:
+        """Index of the page that would hold ``key`` (via fence pointers)."""
+        if self._keys.size == 0:
+            raise ValueError("empty run has no pages")
+        page = int(np.searchsorted(self._fences, key, side="right")) - 1
+        return max(0, page)
+
+    def lookup(self, key: int) -> tuple[bool, bool, int]:
+        """Probe the run for ``key``.
+
+        Returns ``(found, is_tombstone, pages_read)`` where ``pages_read`` is
+        the number of disk pages the lookup had to touch: 0 when the Bloom
+        filter or the fence pointers rule the run out, 1 otherwise (fence
+        pointers identify the single candidate page).
+        """
+        if not self.may_contain(key):
+            return False, False, 0
+        index = int(np.searchsorted(self._keys, key))
+        pages_read = 1
+        if index < self._keys.size and self._keys[index] == key:
+            return True, bool(self._tombstones[index]), pages_read
+        return False, False, pages_read
+
+    # ------------------------------------------------------------------
+    # Range scans
+    # ------------------------------------------------------------------
+    def range_span(self, start_key: int, end_key: int) -> PageSpan:
+        """Pages overlapping the key interval ``[start_key, end_key]``."""
+        if self._keys.size == 0 or end_key < start_key:
+            return PageSpan(0, -1)
+        if end_key < self.min_key or start_key > self.max_key:
+            return PageSpan(0, -1)
+        lo = int(np.searchsorted(self._keys, start_key, side="left"))
+        hi = int(np.searchsorted(self._keys, end_key, side="right")) - 1
+        if hi < lo:
+            # No key inside the interval, but the seek still reads one page.
+            page = self.page_of(start_key)
+            return PageSpan(page, page)
+        return PageSpan(lo // self.entries_per_page, hi // self.entries_per_page)
+
+    def scan(self, start_key: int, end_key: int) -> tuple[np.ndarray, int]:
+        """Return the live keys in ``[start_key, end_key]`` and pages read."""
+        span = self.range_span(start_key, end_key)
+        if span.num_pages == 0:
+            return np.empty(0, dtype=np.int64), 0
+        lo = int(np.searchsorted(self._keys, start_key, side="left"))
+        hi = int(np.searchsorted(self._keys, end_key, side="right"))
+        mask = ~self._tombstones[lo:hi]
+        return self._keys[lo:hi][mask].copy(), span.num_pages
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sorted_keys(
+        cls,
+        keys: np.ndarray,
+        entries_per_page: int,
+        bits_per_entry: float = 0.0,
+        seed: int = 0,
+    ) -> "SortedRun":
+        """Build a run from already sorted, unique keys."""
+        return cls(
+            keys=np.asarray(keys, dtype=np.int64),
+            entries_per_page=entries_per_page,
+            bits_per_entry=bits_per_entry,
+            seed=seed,
+        )
+
+    @staticmethod
+    def merge(
+        runs: list["SortedRun"],
+        entries_per_page: int,
+        bits_per_entry: float = 0.0,
+        drop_tombstones: bool = False,
+        seed: int = 0,
+    ) -> "SortedRun":
+        """Sort-merge several runs into one, newest run first.
+
+        Duplicate keys are consolidated keeping the version from the most
+        recent run (lowest index in ``runs``), matching compaction semantics.
+        """
+        if not runs:
+            return SortedRun(
+                np.empty(0, dtype=np.int64), entries_per_page, bits_per_entry, seed=seed
+            )
+        all_keys = np.concatenate([run._keys for run in runs])
+        all_tombstones = np.concatenate([run._tombstones for run in runs])
+        # Recency rank: entries from runs[0] are newest and must win.
+        recency = np.concatenate(
+            [np.full(run._keys.size, rank) for rank, run in enumerate(runs)]
+        )
+        order = np.lexsort((recency, all_keys))
+        sorted_keys = all_keys[order]
+        sorted_tombstones = all_tombstones[order]
+        if sorted_keys.size:
+            keep = np.ones(sorted_keys.size, dtype=bool)
+            keep[1:] = sorted_keys[1:] != sorted_keys[:-1]
+            sorted_keys = sorted_keys[keep]
+            sorted_tombstones = sorted_tombstones[keep]
+        if drop_tombstones:
+            live = ~sorted_tombstones
+            sorted_keys = sorted_keys[live]
+            sorted_tombstones = sorted_tombstones[live]
+        return SortedRun(
+            keys=sorted_keys,
+            entries_per_page=entries_per_page,
+            bits_per_entry=bits_per_entry,
+            tombstones=sorted_tombstones,
+            seed=seed,
+        )

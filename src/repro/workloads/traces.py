@@ -1,0 +1,179 @@
+"""Concrete query traces for the LSM-tree simulator.
+
+The analytical evaluation only needs workload *proportions*; the system-based
+evaluation executes actual queries against a storage engine.  This module
+turns a :class:`~repro.workloads.workload.Workload` into a sequence of
+concrete operations (get/range/put) against a key domain, mirroring §8.2:
+
+* non-empty point reads query keys that exist in the database,
+* empty point reads query keys drawn from the same domain that are guaranteed
+  not to exist,
+* range queries are short scans with minimal selectivity,
+* writes insert fresh, previously unused keys.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .workload import Workload
+
+
+class OperationType(enum.Enum):
+    """The concrete operations the simulator understands."""
+
+    EMPTY_GET = "empty_get"
+    GET = "get"
+    RANGE = "range"
+    PUT = "put"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One concrete query against the store."""
+
+    kind: OperationType
+    key: int
+    #: Number of consecutive keys scanned; only meaningful for range queries.
+    scan_length: int = 0
+    #: Value payload; only meaningful for puts.
+    value: bytes = b""
+
+
+@dataclass(frozen=True)
+class KeySpace:
+    """Partition of the integer key domain used to generate traces.
+
+    ``existing`` keys are bulk-loaded into the store, ``missing`` keys belong
+    to the same domain but are never inserted (used for empty point reads),
+    and ``fresh`` keys are reserved for writes so that every write is unique.
+    """
+
+    existing: np.ndarray
+    missing: np.ndarray
+    fresh_start: int
+
+    @classmethod
+    def build(cls, num_entries: int, seed: int = 13) -> "KeySpace":
+        """Create a key space with ``num_entries`` resident keys."""
+        if num_entries <= 0:
+            raise ValueError("num_entries must be positive")
+        rng = np.random.default_rng(seed)
+        domain = rng.permutation(2 * num_entries)
+        existing = np.sort(domain[:num_entries])
+        missing = np.sort(domain[num_entries:])
+        return cls(existing=existing, missing=missing, fresh_start=2 * num_entries)
+
+    @property
+    def num_entries(self) -> int:
+        """Number of resident (bulk-loaded) keys."""
+        return int(self.existing.size)
+
+
+class TraceGenerator:
+    """Generates operation traces for a workload over a fixed key space."""
+
+    def __init__(
+        self,
+        key_space: KeySpace,
+        value_size_bytes: int = 8,
+        range_scan_keys: int = 16,
+        seed: int = 23,
+    ) -> None:
+        if value_size_bytes <= 0:
+            raise ValueError("value_size_bytes must be positive")
+        if range_scan_keys <= 0:
+            raise ValueError("range_scan_keys must be positive")
+        self.key_space = key_space
+        self.value_size_bytes = value_size_bytes
+        self.range_scan_keys = range_scan_keys
+        self._rng = np.random.default_rng(seed)
+        self._next_fresh_key = key_space.fresh_start
+
+    # ------------------------------------------------------------------
+    # Trace generation
+    # ------------------------------------------------------------------
+    def operations(self, workload: Workload, num_operations: int) -> list[Operation]:
+        """Materialise ``num_operations`` queries following ``workload``.
+
+        The number of operations per type is the multinomial expectation of
+        the workload proportions; operation order is shuffled so query types
+        interleave like a live workload.
+        """
+        if num_operations <= 0:
+            raise ValueError("num_operations must be positive")
+        counts = self._rng.multinomial(num_operations, workload.as_array())
+        ops: list[Operation] = []
+        ops.extend(self._empty_gets(int(counts[0])))
+        ops.extend(self._gets(int(counts[1])))
+        ops.extend(self._ranges(int(counts[2])))
+        ops.extend(self._puts(int(counts[3])))
+        self._rng.shuffle(ops)
+        return ops
+
+    def __call__(self, workload: Workload, num_operations: int) -> list[Operation]:
+        return self.operations(workload, num_operations)
+
+    # ------------------------------------------------------------------
+    # Per-type generators
+    # ------------------------------------------------------------------
+    def _empty_gets(self, count: int) -> Iterator[Operation]:
+        if count == 0:
+            return iter(())
+        keys = self._rng.choice(self.key_space.missing, size=count, replace=True)
+        return (Operation(OperationType.EMPTY_GET, int(k)) for k in keys)
+
+    def _gets(self, count: int) -> Iterator[Operation]:
+        if count == 0:
+            return iter(())
+        keys = self._rng.choice(self.key_space.existing, size=count, replace=True)
+        return (Operation(OperationType.GET, int(k)) for k in keys)
+
+    def _ranges(self, count: int) -> Iterator[Operation]:
+        if count == 0:
+            return iter(())
+        starts = self._rng.choice(self.key_space.existing, size=count, replace=True)
+        return (
+            Operation(OperationType.RANGE, int(k), scan_length=self.range_scan_keys)
+            for k in starts
+        )
+
+    def _puts(self, count: int) -> list[Operation]:
+        ops = []
+        payload = bytes(self.value_size_bytes)
+        for _ in range(count):
+            ops.append(Operation(OperationType.PUT, self._next_fresh_key, value=payload))
+            self._next_fresh_key += 1
+        return ops
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    def bulk_load_items(self) -> list[tuple[int, bytes]]:
+        """Key/value pairs to bulk-load before running any trace."""
+        payload = bytes(self.value_size_bytes)
+        return [(int(key), payload) for key in self.key_space.existing]
+
+
+def operation_mix(operations: Sequence[Operation]) -> Workload:
+    """Recover the workload proportions realised by a concrete trace."""
+    if not operations:
+        raise ValueError("cannot compute the mix of an empty trace")
+    counts = {kind: 0 for kind in OperationType}
+    for op in operations:
+        counts[op.kind] += 1
+    return Workload.from_counts(
+        [
+            counts[OperationType.EMPTY_GET],
+            counts[OperationType.GET],
+            counts[OperationType.RANGE],
+            counts[OperationType.PUT],
+        ]
+    )

@@ -1,0 +1,187 @@
+"""Workload representation used throughout Endure.
+
+A workload is a probability vector ``w = (z0, z1, q, w)`` over the four basic
+operations of an LSM tree: empty point lookups, non-empty point lookups,
+range lookups and writes (Table 1 of the paper).  The components are
+non-negative and sum to one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+#: Order of the workload components, matching the cost-vector order.
+QUERY_TYPES: tuple[str, ...] = ("z0", "z1", "q", "w")
+
+#: Human-readable names for the query types, in the same order.
+QUERY_NAMES: tuple[str, ...] = (
+    "empty point lookup",
+    "non-empty point lookup",
+    "range lookup",
+    "write",
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An LSM workload expressed as proportions of the four query types.
+
+    Parameters
+    ----------
+    z0:
+        Fraction of point lookups that return no result.
+    z1:
+        Fraction of point lookups that find their key.
+    q:
+        Fraction of range lookups.
+    w:
+        Fraction of writes (inserts/updates/deletes).
+    """
+
+    z0: float
+    z1: float
+    q: float
+    w: float
+
+    #: Tolerance used when validating that the proportions sum to one.
+    _SUM_TOLERANCE = 1e-6
+
+    def __post_init__(self) -> None:
+        values = (self.z0, self.z1, self.q, self.w)
+        if any(v < 0 for v in values):
+            raise ValueError(f"workload proportions must be non-negative: {values}")
+        total = sum(values)
+        if not math.isclose(total, 1.0, abs_tol=self._SUM_TOLERANCE):
+            raise ValueError(
+                f"workload proportions must sum to 1, got {total!r} for {values}"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_array(cls, values: Sequence[float] | np.ndarray) -> "Workload":
+        """Build a workload from a length-4 sequence ``(z0, z1, q, w)``."""
+        arr = np.asarray(values, dtype=float)
+        if arr.shape != (4,):
+            raise ValueError(f"expected 4 workload components, got shape {arr.shape}")
+        return cls(z0=float(arr[0]), z1=float(arr[1]), q=float(arr[2]), w=float(arr[3]))
+
+    @classmethod
+    def from_counts(cls, counts: Sequence[float] | np.ndarray) -> "Workload":
+        """Build a workload from raw (unnormalised) query counts."""
+        arr = np.asarray(counts, dtype=float)
+        if arr.shape != (4,):
+            raise ValueError(f"expected 4 query counts, got shape {arr.shape}")
+        if np.any(arr < 0):
+            raise ValueError("query counts must be non-negative")
+        total = float(arr.sum())
+        if total <= 0:
+            raise ValueError("at least one query count must be positive")
+        return cls.from_array(arr / total)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Workload":
+        """Build a workload from a mapping with keys ``z0, z1, q, w``."""
+        return cls(
+            z0=float(data["z0"]),
+            z1=float(data["z1"]),
+            q=float(data["q"]),
+            w=float(data["w"]),
+        )
+
+    @classmethod
+    def uniform(cls) -> "Workload":
+        """The uniform workload (25% of each query type)."""
+        return cls(0.25, 0.25, 0.25, 0.25)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def as_array(self) -> np.ndarray:
+        """Return ``(z0, z1, q, w)`` as a NumPy array."""
+        return np.array([self.z0, self.z1, self.q, self.w], dtype=float)
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Return ``(z0, z1, q, w)`` as a plain tuple."""
+        return (self.z0, self.z1, self.q, self.w)
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the workload keyed by component name."""
+        return dict(zip(QUERY_TYPES, self.as_tuple()))
+
+    @property
+    def read_fraction(self) -> float:
+        """Total fraction of read operations (point + range lookups)."""
+        return self.z0 + self.z1 + self.q
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of write operations (alias of ``w``)."""
+        return self.w
+
+    @property
+    def dominant_query(self) -> str:
+        """Name (``z0``/``z1``/``q``/``w``) of the most frequent query type."""
+        values = self.as_tuple()
+        return QUERY_TYPES[int(np.argmax(values))]
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def mix(self, other: "Workload", weight: float) -> "Workload":
+        """Convex combination ``(1 - weight) * self + weight * other``."""
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError("weight must lie in [0, 1]")
+        blended = (1.0 - weight) * self.as_array() + weight * other.as_array()
+        return Workload.from_array(blended)
+
+    def smoothed(self, floor: float = 0.01) -> "Workload":
+        """Return a copy where every component is at least ``floor``.
+
+        The uncertainty benchmark guarantees at least 1% of every query type
+        so that KL divergences stay finite; this mirrors that procedure.
+        """
+        if not 0.0 <= floor < 0.25:
+            raise ValueError("floor must lie in [0, 0.25)")
+        arr = np.maximum(self.as_array(), floor)
+        return Workload.from_array(arr / arr.sum())
+
+    def distance_to(self, other: "Workload") -> float:
+        """KL divergence ``I_KL(self, other)`` from this workload to ``other``."""
+        return kl_divergence(self.as_array(), other.as_array())
+
+    def describe(self) -> str:
+        """Compact percentage rendering, e.g. ``(25%, 25%, 25%, 25%)``."""
+        return "(" + ", ".join(f"{100 * v:.0f}%" for v in self.as_tuple()) + ")"
+
+
+def kl_divergence(p: Sequence[float] | np.ndarray, q: Sequence[float] | np.ndarray) -> float:
+    """Kullback–Leibler divergence ``I_KL(p, q) = Σ p_i log(p_i / q_i)``.
+
+    Components of ``p`` that are exactly zero contribute nothing; a positive
+    component of ``p`` matched with a zero component of ``q`` yields infinity.
+    """
+    p_arr = np.asarray(p, dtype=float)
+    q_arr = np.asarray(q, dtype=float)
+    if p_arr.shape != q_arr.shape:
+        raise ValueError("p and q must have the same shape")
+    if np.any(p_arr < 0) or np.any(q_arr < 0):
+        raise ValueError("probability vectors must be non-negative")
+    mask = p_arr > 0
+    if np.any(q_arr[mask] == 0):
+        return float("inf")
+    return float(np.sum(p_arr[mask] * np.log(p_arr[mask] / q_arr[mask])))
+
+
+def average_workload(workloads: Iterable[Workload]) -> Workload:
+    """Component-wise mean of a collection of workloads (renormalised)."""
+    arrays = [wl.as_array() for wl in workloads]
+    if not arrays:
+        raise ValueError("cannot average an empty collection of workloads")
+    mean = np.mean(arrays, axis=0)
+    return Workload.from_array(mean / mean.sum())

@@ -1,0 +1,39 @@
+"""Tests for the tuning-result container."""
+
+from repro.core import TuningResult
+from repro.lsm import LSMTuning, Policy
+from repro.workloads import Workload
+
+
+def _make_result(rho: float = 0.0) -> TuningResult:
+    return TuningResult(
+        tuning=LSMTuning(5.0, 4.0, Policy.LEVELING),
+        objective=1.5,
+        expected_workload=Workload.uniform(),
+        rho=rho,
+    )
+
+
+class TestTuningResult:
+    def test_nominal_flag(self):
+        assert _make_result(rho=0.0).nominal
+        assert not _make_result(rho=0.5).nominal
+
+    def test_describe_mentions_kind(self):
+        assert "nominal" in _make_result(0.0).describe()
+        assert "robust" in _make_result(0.5).describe()
+
+    def test_describe_mentions_objective(self):
+        assert "1.5" in _make_result().describe()
+
+    def test_solver_info_defaults_to_empty_dict(self):
+        assert _make_result().solver_info == {}
+
+    def test_is_frozen(self):
+        result = _make_result()
+        try:
+            result.objective = 2.0
+            mutated = True
+        except AttributeError:
+            mutated = False
+        assert not mutated

@@ -1,0 +1,54 @@
+"""Tests for the compaction-policy enumeration."""
+
+import pytest
+
+from repro.lsm import ALL_POLICIES, Policy
+
+
+class TestPolicyFromValue:
+    def test_accepts_enum_member(self):
+        assert Policy.from_value(Policy.LEVELING) is Policy.LEVELING
+
+    def test_accepts_canonical_strings(self):
+        assert Policy.from_value("leveling") is Policy.LEVELING
+        assert Policy.from_value("tiering") is Policy.TIERING
+
+    def test_accepts_aliases(self):
+        assert Policy.from_value("level") is Policy.LEVELING
+        assert Policy.from_value("leveled") is Policy.LEVELING
+        assert Policy.from_value("L") is Policy.LEVELING
+        assert Policy.from_value("tier") is Policy.TIERING
+        assert Policy.from_value("tiered") is Policy.TIERING
+        assert Policy.from_value("T") is Policy.TIERING
+
+    def test_is_case_insensitive(self):
+        assert Policy.from_value("LEVELING") is Policy.LEVELING
+        assert Policy.from_value("Tiering") is Policy.TIERING
+
+    def test_strips_whitespace(self):
+        assert Policy.from_value("  leveling  ") is Policy.LEVELING
+
+    def test_rejects_unknown_string(self):
+        with pytest.raises(ValueError):
+            Policy.from_value("lazy-leveling")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            Policy.from_value(42)
+
+
+class TestPolicyCollection:
+    def test_all_policies_has_both(self):
+        assert set(ALL_POLICIES) == {Policy.LEVELING, Policy.TIERING}
+
+    def test_all_policies_order_is_stable(self):
+        assert ALL_POLICIES[0] is Policy.LEVELING
+        assert ALL_POLICIES[1] is Policy.TIERING
+
+    def test_str_rendering(self):
+        assert str(Policy.LEVELING) == "leveling"
+        assert str(Policy.TIERING) == "tiering"
+
+    def test_value_round_trip(self):
+        for policy in ALL_POLICIES:
+            assert Policy.from_value(policy.value) is policy

@@ -1,0 +1,95 @@
+"""Tests for the LSM tuning configuration object."""
+
+import pytest
+
+from repro.lsm import LSMTuning, Policy, SystemConfig
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        tuning = LSMTuning(size_ratio=10.0, bits_per_entry=5.0, policy=Policy.LEVELING)
+        assert tuning.size_ratio == 10.0
+        assert tuning.policy is Policy.LEVELING
+
+    def test_policy_coerced_from_string(self):
+        tuning = LSMTuning(size_ratio=10.0, bits_per_entry=5.0, policy="tiering")
+        assert tuning.policy is Policy.TIERING
+
+    def test_rejects_small_size_ratio(self):
+        with pytest.raises(ValueError):
+            LSMTuning(size_ratio=1.5, bits_per_entry=5.0, policy=Policy.LEVELING)
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            LSMTuning(size_ratio=5.0, bits_per_entry=-1.0, policy=Policy.LEVELING)
+
+    def test_is_hashable_and_comparable(self):
+        a = LSMTuning(5.0, 3.0, Policy.LEVELING)
+        b = LSMTuning(5.0, 3.0, Policy.LEVELING)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestDerivedMemory:
+    def test_memory_split_adds_up(self, system: SystemConfig):
+        tuning = LSMTuning(5.0, 4.0, Policy.LEVELING)
+        total = tuning.filter_memory_bits(system) + tuning.buffer_memory_bits(system)
+        assert total == pytest.approx(system.total_memory_bits)
+
+    def test_buffer_bytes_consistent(self, system: SystemConfig):
+        tuning = LSMTuning(5.0, 4.0, Policy.LEVELING)
+        assert tuning.buffer_memory_bytes(system) == pytest.approx(
+            tuning.buffer_memory_bits(system) / 8.0
+        )
+
+    def test_num_levels_delegates_to_system(self, system: SystemConfig):
+        tuning = LSMTuning(5.0, 4.0, Policy.LEVELING)
+        assert tuning.num_levels(system) == system.num_levels(5.0, 4.0)
+
+    def test_more_filter_memory_means_smaller_buffer(self, system: SystemConfig):
+        small = LSMTuning(5.0, 2.0, Policy.LEVELING)
+        large = LSMTuning(5.0, 10.0, Policy.LEVELING)
+        assert large.buffer_memory_bits(system) < small.buffer_memory_bits(system)
+
+
+class TestTransformations:
+    def test_rounded_produces_integer_ratio(self):
+        tuning = LSMTuning(7.6, 3.0, Policy.LEVELING)
+        assert tuning.rounded().size_ratio == 8.0
+
+    def test_rounded_never_below_two(self):
+        tuning = LSMTuning(2.0, 3.0, Policy.LEVELING)
+        assert tuning.rounded().size_ratio == 2.0
+
+    def test_rounded_keeps_other_fields(self):
+        tuning = LSMTuning(7.6, 3.0, Policy.TIERING)
+        rounded = tuning.rounded()
+        assert rounded.bits_per_entry == tuning.bits_per_entry
+        assert rounded.policy is tuning.policy
+
+    def test_with_policy(self):
+        tuning = LSMTuning(5.0, 3.0, Policy.LEVELING)
+        assert tuning.with_policy("tiering").policy is Policy.TIERING
+
+    def test_clamped_respects_system_bounds(self, system: SystemConfig):
+        tuning = LSMTuning(1000.0, 1000.0, Policy.LEVELING)
+        clamped = tuning.clamped(system)
+        assert clamped.size_ratio <= system.max_size_ratio
+        assert clamped.bits_per_entry <= system.max_bits_per_entry
+
+    def test_clamped_is_noop_inside_bounds(self, system: SystemConfig):
+        tuning = LSMTuning(5.0, 3.0, Policy.LEVELING)
+        assert tuning.clamped(system) == tuning
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self):
+        tuning = LSMTuning(7.5, 3.25, Policy.TIERING)
+        assert LSMTuning.from_dict(tuning.to_dict()) == tuning
+
+    def test_describe_mentions_all_fields(self):
+        tuning = LSMTuning(7.5, 3.25, Policy.TIERING)
+        text = tuning.describe()
+        assert "tiering" in text
+        assert "7.5" in text
+        assert "3.2" in text or "3.3" in text

@@ -1,0 +1,75 @@
+"""Tests for the concrete Bloom filter used by the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.storage import BloomFilter
+
+
+class TestBloomFilterBasics:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(expected_entries=1_000, bits_per_entry=10.0, seed=1)
+        keys = np.arange(0, 2_000, 2, dtype=np.uint64)
+        bf.add_many(keys)
+        assert all(bf.might_contain(int(k)) for k in keys)
+
+    def test_false_positive_rate_close_to_theory(self):
+        bits = 10.0
+        bf = BloomFilter(expected_entries=2_000, bits_per_entry=bits, seed=2)
+        bf.add_many(np.arange(0, 4_000, 2, dtype=np.uint64))
+        probes = np.arange(1, 8_001, 2, dtype=np.uint64)  # keys never inserted
+        false_positives = sum(bf.might_contain(int(k)) for k in probes)
+        observed = false_positives / probes.size
+        # Theory: ~0.0082 at 10 bits/entry; allow a generous band.
+        assert observed < 0.05
+
+    def test_more_bits_fewer_false_positives(self):
+        keys = np.arange(0, 2_000, 2, dtype=np.uint64)
+        probes = np.arange(1, 4_001, 2, dtype=np.uint64)
+
+        def fp_count(bits: float) -> int:
+            bf = BloomFilter(expected_entries=keys.size, bits_per_entry=bits, seed=3)
+            bf.add_many(keys)
+            return sum(bf.might_contain(int(k)) for k in probes)
+
+        assert fp_count(12.0) <= fp_count(2.0)
+
+    def test_zero_bits_is_degenerate_always_maybe(self):
+        bf = BloomFilter(expected_entries=100, bits_per_entry=0.0)
+        assert bf.might_contain(42)
+        assert bf.size_bits == 0
+        assert bf.expected_false_positive_rate() == 1.0
+
+    def test_contains_operator(self):
+        bf = BloomFilter(expected_entries=10, bits_per_entry=10.0)
+        bf.add(7)
+        assert 7 in bf
+
+    def test_count_tracks_insertions(self):
+        bf = BloomFilter(expected_entries=100, bits_per_entry=8.0)
+        bf.add_many(np.arange(10, dtype=np.uint64))
+        bf.add(99)
+        assert bf.count == 11
+
+    def test_empty_filter_expected_fpr_zero(self):
+        bf = BloomFilter(expected_entries=100, bits_per_entry=8.0)
+        assert bf.expected_false_positive_rate() == 0.0
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(expected_entries=-1, bits_per_entry=8.0)
+        with pytest.raises(ValueError):
+            BloomFilter(expected_entries=10, bits_per_entry=-1.0)
+
+    def test_different_seeds_produce_different_filters(self):
+        keys = np.arange(0, 1_000, dtype=np.uint64)
+        a = BloomFilter(1_000, 8.0, seed=1)
+        b = BloomFilter(1_000, 8.0, seed=2)
+        a.add_many(keys)
+        b.add_many(keys)
+        assert not np.array_equal(a._bits, b._bits)
+
+    def test_add_many_with_empty_array_is_noop(self):
+        bf = BloomFilter(expected_entries=10, bits_per_entry=8.0)
+        bf.add_many(np.array([], dtype=np.uint64))
+        assert bf.count == 0

@@ -1,0 +1,115 @@
+"""Tests for the workload executor (system-measurement harness)."""
+
+import pytest
+
+from repro.lsm import LSMTuning, Policy
+from repro.storage import ExecutorConfig, WorkloadExecutor
+from repro.workloads import SessionType
+
+
+@pytest.fixture(scope="module")
+def tunings():
+    return {
+        "nominal": LSMTuning(size_ratio=20.0, bits_per_entry=10.0, policy=Policy.LEVELING),
+        "robust": LSMTuning(size_ratio=5.0, bits_per_entry=3.0, policy=Policy.LEVELING),
+    }
+
+
+class TestExecutorBasics:
+    def test_build_tree_bulk_loads_and_resets_io(self, executor, tunings):
+        tree = executor.build_tree(tunings["robust"])
+        assert tree.num_entries == executor.system.num_entries
+        assert tree.disk.counters.total == 0
+
+    def test_same_key_space_across_tunings(self, executor, tunings):
+        tree_a = executor.build_tree(tunings["nominal"])
+        tree_b = executor.build_tree(tunings["robust"])
+        assert tree_a.num_entries == tree_b.num_entries
+
+    def test_run_session_reports_query_count(self, executor, tunings, session_generator, w11):
+        tree = executor.build_tree(tunings["robust"])
+        from repro.workloads import TraceGenerator
+
+        session = session_generator.session(SessionType.READ, w11, workloads_per_session=2)
+        trace = TraceGenerator(executor.key_space, seed=1)
+        measurement = executor.run_session(tree, session, trace)
+        assert measurement.num_queries == 2 * executor.config.queries_per_workload
+
+    def test_session_measurement_has_non_negative_ios(
+        self, executor, tunings, session_generator, w11
+    ):
+        measurement = executor.run_sequence(
+            tunings["robust"], session_generator.paper_sequence(w11, workloads_per_session=1)
+        )
+        for session in measurement.sessions:
+            assert session.ios_per_query >= 0.0
+            assert session.latency_us_per_query >= 0.0
+
+
+class TestSequenceExecution:
+    def test_sequence_measurement_has_one_entry_per_session(
+        self, executor, tunings, session_generator, w11
+    ):
+        sequence = session_generator.paper_sequence(w11, workloads_per_session=1)
+        measurement = executor.run_sequence(tunings["robust"], sequence)
+        assert len(measurement.sessions) == len(sequence)
+
+    def test_write_session_generates_write_io(
+        self, executor, tunings, session_generator, w11
+    ):
+        sequence = session_generator.paper_sequence(
+            w11, include_writes=True, workloads_per_session=1
+        )
+        measurement = executor.run_sequence(tunings["robust"], sequence)
+        write_sessions = [s for s in measurement.sessions if s.label == "write"]
+        assert write_sessions
+        assert write_sessions[0].flush_writes + write_sessions[0].compaction_writes > 0
+
+    def test_read_only_sequence_generates_no_write_io(
+        self, executor, tunings, session_generator, w7
+    ):
+        sequence = session_generator.paper_sequence(
+            w7, include_writes=False, workloads_per_session=1
+        )
+        measurement = executor.run_sequence(tunings["robust"], sequence)
+        # Only the small non-dominant write fraction can flush; it should be
+        # a negligible share of total traffic.
+        total_reads = sum(s.query_reads for s in measurement.sessions)
+        total_compaction = sum(s.compaction_writes for s in measurement.sessions)
+        assert total_reads > 0
+        assert total_compaction <= total_reads
+
+    def test_compare_runs_all_tunings(self, executor, tunings, session_generator, w11):
+        sequence = session_generator.paper_sequence(w11, workloads_per_session=1)
+        results = executor.compare(tunings, sequence)
+        assert set(results) == {"nominal", "robust"}
+
+    def test_session_series_is_reportable(self, executor, tunings, session_generator, w11):
+        sequence = session_generator.paper_sequence(w11, workloads_per_session=1)
+        measurement = executor.run_sequence(tunings["robust"], sequence)
+        series = measurement.session_series()
+        assert len(series) == len(sequence)
+        assert {"session", "workload", "ios_per_query", "latency_us_per_query"} <= set(
+            series[0]
+        )
+
+    def test_average_metrics_are_finite(self, executor, tunings, session_generator, w11):
+        sequence = session_generator.paper_sequence(w11, workloads_per_session=1)
+        measurement = executor.run_sequence(tunings["nominal"], sequence)
+        assert measurement.average_ios_per_query >= 0.0
+        assert measurement.average_latency_us >= 0.0
+
+    def test_latency_scales_with_configured_page_cost(self, small_system, session_generator, w11):
+        fast = WorkloadExecutor(
+            small_system,
+            ExecutorConfig(queries_per_workload=200, read_latency_us=10.0, write_latency_us=10.0, seed=5),
+        )
+        slow = WorkloadExecutor(
+            small_system,
+            ExecutorConfig(queries_per_workload=200, read_latency_us=100.0, write_latency_us=100.0, seed=5),
+        )
+        tuning = LSMTuning(5.0, 3.0, Policy.LEVELING)
+        sequence = session_generator.paper_sequence(w11, workloads_per_session=1)
+        fast_measure = fast.run_sequence(tuning, sequence)
+        slow_measure = slow.run_sequence(tuning, sequence)
+        assert slow_measure.average_latency_us > fast_measure.average_latency_us

@@ -1,0 +1,207 @@
+"""Tests for the simulated LSM tree (structure, queries, compaction, I/O)."""
+
+import numpy as np
+import pytest
+
+from repro.lsm import LSMTuning, Policy, simulator_system
+from repro.storage import LSMTree
+
+
+def make_tree(policy=Policy.LEVELING, size_ratio=4.0, bits=6.0, num_entries=4_000):
+    system = simulator_system(num_entries=num_entries)
+    tuning = LSMTuning(size_ratio=size_ratio, bits_per_entry=bits, policy=policy)
+    return LSMTree(tuning, system)
+
+
+class TestConstruction:
+    def test_size_ratio_is_rounded_for_deployment(self):
+        system = simulator_system(num_entries=2_000)
+        tuning = LSMTuning(size_ratio=4.6, bits_per_entry=3.0, policy=Policy.LEVELING)
+        tree = LSMTree(tuning, system)
+        assert tree.size_ratio == 5
+
+    def test_buffer_holds_at_least_one_page(self):
+        tree = make_tree()
+        assert tree.buffer_entries >= tree.entries_per_page
+
+    def test_level_capacities_grow_exponentially(self):
+        tree = make_tree(size_ratio=4.0)
+        assert tree.level_capacity_entries(3) == 4 * tree.level_capacity_entries(2)
+
+    def test_level_capacity_rejects_level_zero(self):
+        with pytest.raises(ValueError):
+            make_tree().level_capacity_entries(0)
+
+
+class TestWritesAndCompaction:
+    def test_puts_accumulate_in_memtable_until_full(self):
+        tree = make_tree()
+        for key in range(tree.buffer_entries - 1):
+            tree.put(key)
+        assert tree.disk.counters.total == 0  # nothing flushed yet
+        assert len(tree.memtable) == tree.buffer_entries - 1
+
+    def test_flush_writes_pages_and_empties_memtable(self):
+        tree = make_tree()
+        for key in range(tree.buffer_entries):
+            tree.put(key)
+        assert tree.memtable.is_empty
+        assert tree.disk.counters.flush_writes > 0
+
+    def test_leveling_keeps_at_most_one_run_per_level(self):
+        tree = make_tree(policy=Policy.LEVELING, size_ratio=3.0)
+        for key in range(12 * tree.buffer_entries):
+            tree.put(key * 7)
+        assert all(len(runs) <= 1 for runs in tree.levels)
+
+    def test_tiering_keeps_fewer_than_t_runs_per_level(self):
+        tree = make_tree(policy=Policy.TIERING, size_ratio=4.0)
+        for key in range(20 * tree.buffer_entries):
+            tree.put(key * 3)
+        assert all(len(runs) < tree.size_ratio for runs in tree.levels)
+
+    def test_no_entries_lost_through_compactions(self):
+        tree = make_tree(policy=Policy.LEVELING, size_ratio=3.0)
+        keys = [int(k) for k in np.random.default_rng(1).permutation(3_000)]
+        for key in keys:
+            tree.put(key)
+        assert tree.num_entries == len(set(keys))
+
+    def test_tiering_writes_fewer_compaction_pages_than_leveling(self):
+        leveled = make_tree(policy=Policy.LEVELING, size_ratio=4.0)
+        tiered = make_tree(policy=Policy.TIERING, size_ratio=4.0)
+        for key in range(8_000):
+            leveled.put(key)
+            tiered.put(key)
+        leveled_io = leveled.disk.counters.compaction_writes
+        tiered_io = tiered.disk.counters.compaction_writes
+        assert tiered_io < leveled_io
+
+    def test_delete_hides_key(self):
+        tree = make_tree()
+        tree.put(42)
+        tree.delete(42)
+        assert tree.get(42) is False
+
+    def test_delete_survives_flush(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 1_000))
+        tree.delete(500)
+        tree.flush()
+        assert tree.get(500) is False
+
+    def test_explicit_flush_of_empty_memtable_is_noop(self):
+        tree = make_tree()
+        tree.flush()
+        assert tree.disk.counters.total == 0
+
+
+class TestReads:
+    def test_get_finds_bulk_loaded_keys(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 2_000, 2))
+        assert tree.get(100)
+        assert tree.get(1_998)
+
+    def test_get_missing_key_returns_false(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 2_000, 2))
+        assert not tree.get(101)
+
+    def test_get_reads_at_most_one_page_per_run(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 2_000, 2))
+        tree.disk.reset()
+        tree.get(100)
+        total_runs = sum(len(runs) for runs in tree.levels)
+        assert tree.disk.counters.query_reads <= total_runs
+
+    def test_memtable_hits_cost_no_io(self):
+        tree = make_tree()
+        tree.put(7)
+        tree.disk.reset()
+        assert tree.get(7)
+        assert tree.disk.counters.total == 0
+
+    def test_bloom_filters_save_io_on_empty_reads(self):
+        with_filters = make_tree(bits=10.0)
+        without_filters = make_tree(bits=0.0)
+        keys = np.arange(0, 4_000, 2)
+        with_filters.bulk_load(keys)
+        without_filters.bulk_load(keys)
+        with_filters.disk.reset()
+        without_filters.disk.reset()
+        probes = range(1, 2_001, 2)
+        for key in probes:
+            with_filters.get(key)
+            without_filters.get(key)
+        assert (
+            with_filters.disk.counters.query_reads
+            < without_filters.disk.counters.query_reads
+        )
+
+    def test_range_query_returns_live_key_count(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 1_000))
+        assert tree.range_query(100, 149) == 50
+
+    def test_range_query_counts_recent_writes(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 1_000, 2))
+        tree.put(501)
+        assert tree.range_query(500, 502) == 3
+
+    def test_range_query_charges_io(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 2_000))
+        tree.disk.reset()
+        tree.range_query(0, 400)
+        assert tree.disk.counters.query_reads >= 400 // tree.entries_per_page
+
+    def test_inverted_range_is_empty(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 100))
+        assert tree.range_query(50, 10) == 0
+
+    def test_updated_key_remains_visible_once(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 100))
+        tree.put(50)  # update existing key
+        assert tree.get(50)
+        assert tree.range_query(50, 50) == 1
+
+
+class TestBulkLoadAndStats:
+    def test_bulk_load_places_all_entries(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 3_000))
+        assert tree.num_entries == 3_000
+
+    def test_bulk_load_charges_no_io(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 3_000))
+        assert tree.disk.counters.total == 0
+
+    def test_bulk_load_deduplicates(self):
+        tree = make_tree()
+        tree.bulk_load(np.array([1, 1, 2, 2, 3]))
+        assert tree.num_entries == 3
+
+    def test_stats_reflect_structure(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 3_000))
+        stats = tree.stats()
+        assert stats.num_entries == 3_000
+        assert stats.num_levels == len(tree.levels)
+        assert sum(stats.entries_per_level) + stats.memtable_entries == 3_000
+
+    def test_stats_report_filter_memory(self):
+        tree = make_tree(bits=8.0)
+        tree.bulk_load(np.arange(0, 3_000))
+        assert tree.stats().filter_memory_bits > 0
+
+    def test_deeper_levels_hold_more_entries(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 4_000))
+        entries = [e for e in tree.stats().entries_per_level if e > 0]
+        assert entries == sorted(entries)

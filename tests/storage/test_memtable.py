@@ -1,0 +1,82 @@
+"""Tests for the in-memory write buffer."""
+
+import pytest
+
+from repro.storage import Memtable
+
+
+class TestMemtable:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            Memtable(0)
+
+    def test_put_and_get(self):
+        table = Memtable(10)
+        table.put(5)
+        present, tombstone = table.get(5)
+        assert present and not tombstone
+
+    def test_get_missing_key(self):
+        table = Memtable(10)
+        assert table.get(99) == (False, False)
+
+    def test_delete_records_tombstone(self):
+        table = Memtable(10)
+        table.put(5)
+        table.delete(5)
+        present, tombstone = table.get(5)
+        assert present and tombstone
+
+    def test_update_overwrites_previous_entry(self):
+        table = Memtable(10)
+        table.delete(5)
+        table.put(5)
+        assert table.get(5) == (True, False)
+        assert len(table) == 1
+
+    def test_is_full_and_is_empty(self):
+        table = Memtable(2)
+        assert table.is_empty
+        table.put(1)
+        assert not table.is_full
+        table.put(2)
+        assert table.is_full
+
+    def test_clear(self):
+        table = Memtable(4)
+        table.put(1)
+        table.clear()
+        assert table.is_empty
+
+    def test_scan_returns_sorted_live_keys(self):
+        table = Memtable(10)
+        for key in (9, 3, 7, 5):
+            table.put(key)
+        table.delete(7)
+        assert table.scan(0, 100).tolist() == [3, 5, 9]
+
+    def test_scan_respects_bounds(self):
+        table = Memtable(10)
+        for key in range(10):
+            table.put(key)
+        assert table.scan(3, 6).tolist() == [3, 4, 5, 6]
+
+    def test_sorted_items_returns_keys_and_tombstones(self):
+        table = Memtable(10)
+        table.put(4)
+        table.delete(2)
+        keys, tombstones = table.sorted_items()
+        assert keys.tolist() == [2, 4]
+        assert tombstones.tolist() == [True, False]
+
+    def test_sorted_items_empty(self):
+        keys, tombstones = Memtable(4).sorted_items()
+        assert keys.size == 0
+        assert tombstones.size == 0
+
+    def test_len_counts_unique_keys(self):
+        table = Memtable(10)
+        table.put(1)
+        table.put(1)
+        table.put(2)
+        assert len(table) == 2

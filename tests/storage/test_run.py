@@ -1,0 +1,179 @@
+"""Tests for immutable sorted runs (fence pointers, filters, merging)."""
+
+import numpy as np
+import pytest
+
+from repro.storage import SortedRun
+
+
+def make_run(keys, bits=8.0, entries_per_page=4, tombstones=None, seed=0):
+    return SortedRun(
+        keys=np.asarray(keys, dtype=np.int64),
+        entries_per_page=entries_per_page,
+        bits_per_entry=bits,
+        tombstones=None if tombstones is None else np.asarray(tombstones, dtype=bool),
+        seed=seed,
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        run = make_run(range(0, 40, 2))
+        assert run.num_entries == 20
+        assert run.num_pages == 5
+        assert run.min_key == 0
+        assert run.max_key == 38
+
+    def test_rejects_unsorted_keys(self):
+        with pytest.raises(ValueError):
+            make_run([3, 1, 2])
+
+    def test_rejects_duplicate_keys(self):
+        with pytest.raises(ValueError):
+            make_run([1, 1, 2])
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ValueError):
+            SortedRun(np.array([1, 2]), entries_per_page=0)
+
+    def test_rejects_mismatched_tombstones(self):
+        with pytest.raises(ValueError):
+            make_run([1, 2, 3], tombstones=[True])
+
+    def test_empty_run(self):
+        run = make_run([])
+        assert run.num_entries == 0
+        assert run.num_pages == 0
+        with pytest.raises(ValueError):
+            _ = run.min_key
+
+    def test_keys_view_is_read_only(self):
+        run = make_run([1, 2, 3])
+        with pytest.raises(ValueError):
+            run.keys[0] = 99
+
+    def test_filter_sized_by_bits_per_entry(self):
+        small = make_run(range(100), bits=2.0)
+        large = make_run(range(100), bits=16.0)
+        assert large.filter_size_bits > small.filter_size_bits
+
+
+class TestPointLookups:
+    def test_lookup_finds_existing_key(self):
+        run = make_run(range(0, 100, 2))
+        found, tombstone, pages = run.lookup(42)
+        assert found and not tombstone
+        assert pages == 1
+
+    def test_lookup_of_missing_key_out_of_range_costs_nothing(self):
+        run = make_run(range(10, 20))
+        found, _, pages = run.lookup(1_000)
+        assert not found
+        assert pages == 0
+
+    def test_lookup_of_missing_key_in_range_costs_at_most_one_page(self):
+        run = make_run(range(0, 100, 2), bits=0.0)  # no filter: always probes
+        found, _, pages = run.lookup(41)
+        assert not found
+        assert pages == 1
+
+    def test_bloom_filter_skips_most_missing_keys(self):
+        run = make_run(range(0, 4_000, 2), bits=12.0)
+        probes = range(1, 4_001, 2)
+        total_pages = sum(run.lookup(key)[2] for key in probes)
+        assert total_pages < 0.05 * len(list(probes))
+
+    def test_tombstoned_key_reported(self):
+        run = make_run([1, 2, 3], tombstones=[False, True, False])
+        found, tombstone, _ = run.lookup(2)
+        assert found and tombstone
+
+    def test_page_of_uses_fence_pointers(self):
+        run = make_run(range(0, 40), entries_per_page=10)
+        assert run.page_of(0) == 0
+        assert run.page_of(9) == 0
+        assert run.page_of(10) == 1
+        assert run.page_of(39) == 3
+
+    def test_may_contain_respects_key_range(self):
+        run = make_run(range(10, 20))
+        assert not run.may_contain(5)
+        assert not run.may_contain(100)
+
+
+class TestRangeScans:
+    def test_scan_returns_keys_in_interval(self):
+        run = make_run(range(0, 100, 2))
+        keys, pages = run.scan(10, 20)
+        assert keys.tolist() == [10, 12, 14, 16, 18, 20]
+        assert pages >= 1
+
+    def test_scan_excludes_tombstones(self):
+        run = make_run([1, 2, 3, 4], tombstones=[False, True, False, False])
+        keys, _ = run.scan(1, 4)
+        assert keys.tolist() == [1, 3, 4]
+
+    def test_scan_outside_range_costs_nothing(self):
+        run = make_run(range(10, 20))
+        keys, pages = run.scan(100, 200)
+        assert keys.size == 0
+        assert pages == 0
+
+    def test_scan_page_count_scales_with_interval(self):
+        run = make_run(range(0, 1_000), entries_per_page=10)
+        _, small = run.scan(0, 9)
+        _, large = run.scan(0, 499)
+        assert small == 1
+        assert large == 50
+
+    def test_empty_interval_with_no_matching_keys_still_seeks_one_page(self):
+        run = make_run(range(0, 100, 10))
+        keys, pages = run.scan(41, 49)
+        assert keys.size == 0
+        assert pages == 1
+
+    def test_inverted_interval_returns_nothing(self):
+        run = make_run(range(10))
+        keys, pages = run.scan(5, 1)
+        assert keys.size == 0
+        assert pages == 0
+
+
+class TestMerging:
+    def test_merge_consolidates_duplicates_newest_wins(self):
+        newer = make_run([1, 2, 3], tombstones=[False, True, False])
+        older = make_run([2, 3, 4])
+        merged = SortedRun.merge([newer, older], entries_per_page=4)
+        assert merged.keys.tolist() == [1, 2, 3, 4]
+        # Key 2 keeps the newer (tombstoned) version.
+        found, tombstone, _ = merged.lookup(2)
+        assert found and tombstone
+
+    def test_merge_drop_tombstones(self):
+        newer = make_run([1, 2], tombstones=[False, True])
+        older = make_run([2, 3])
+        merged = SortedRun.merge([newer, older], entries_per_page=4, drop_tombstones=True)
+        assert merged.keys.tolist() == [1, 3]
+
+    def test_merge_of_disjoint_runs_preserves_all_keys(self):
+        a = make_run(range(0, 10))
+        b = make_run(range(10, 20))
+        merged = SortedRun.merge([a, b], entries_per_page=4)
+        assert merged.num_entries == 20
+
+    def test_merge_empty_list_gives_empty_run(self):
+        merged = SortedRun.merge([], entries_per_page=4)
+        assert merged.num_entries == 0
+
+    def test_merge_result_is_sorted_and_unique(self):
+        rng = np.random.default_rng(5)
+        runs = []
+        for seed in range(4):
+            keys = np.unique(rng.integers(0, 500, size=100))
+            runs.append(make_run(keys, seed=seed))
+        merged = SortedRun.merge(runs, entries_per_page=8)
+        assert np.all(np.diff(merged.keys) > 0)
+
+    def test_from_sorted_keys_constructor(self):
+        run = SortedRun.from_sorted_keys(np.array([1, 5, 9]), entries_per_page=2)
+        assert run.num_entries == 3

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tune_command_parses_workload(self):
+        args = build_parser().parse_args(
+            ["tune", "--workload", "0.25", "0.25", "0.25", "0.25", "--rho", "0.5"]
+        )
+        assert args.rho == 0.5
+        assert args.workload == [0.25, 0.25, 0.25, 0.25]
+
+    def test_compare_command_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.expected_index == 11
+        assert args.rho == 0.25
+
+
+class TestCommands:
+    def test_workloads_command_lists_table2(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "w0" in out and "w14" in out
+        assert "trimodal" in out
+
+    def test_tune_command_outputs_json(self, capsys):
+        code = main(
+            ["tune", "--workload", "0.25", "0.25", "0.25", "0.25", "--rho", "0.5"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "nominal" in payload
+        assert "robust" in payload
+        assert payload["rho"] == 0.5
+
+    def test_tune_command_without_uncertainty(self, capsys):
+        code = main(["tune", "--workload", "0.1", "0.1", "0.1", "0.7", "--rho", "0"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "nominal" in payload
+        assert "robust" not in payload
+
+    def test_compare_command_runs_small_simulation(self, capsys):
+        code = main(
+            ["compare", "--expected-index", "11", "--rho", "0.5", "--num-entries", "4000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nominal" in out and "robust" in out
+        assert "I/O reduction" in out

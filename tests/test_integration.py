@@ -1,0 +1,110 @@
+"""End-to-end integration tests: tuner -> cost model -> simulator.
+
+These tests exercise the full pipeline the paper describes: compute nominal
+and robust tunings for an expected workload, evaluate them analytically over
+the uncertainty bench_set, then deploy them on the simulated storage engine
+and confirm that the analytical predictions carry over to measured I/O.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SystemExperiment, delta_throughput, win_rate
+from repro.core import NominalTuner, RobustTuner, UncertaintyRegion
+from repro.lsm import LSMCostModel, SystemConfig, simulator_system
+from repro.storage import ExecutorConfig
+from repro.workloads import UncertaintyBenchmark, expected_workload
+
+
+class TestModelPipeline:
+    """Endure's model-based claims on a reduced bench_set."""
+
+    def test_robust_beats_nominal_on_most_noisy_workloads(
+        self, system, w11, nominal_w11, robust_w11_rho1, bench_set
+    ):
+        """Headline claim (§7.3): for a skewed expected workload the robust
+        tuning outperforms the nominal one on the bulk of the bench_set."""
+        model = LSMCostModel(system)
+        rate = win_rate(
+            model, list(bench_set), nominal_w11.tuning, robust_w11_rho1.tuning
+        )
+        assert rate > 0.6
+
+    def test_average_delta_throughput_is_large_for_w11(
+        self, system, nominal_w11, robust_w11_rho1, bench_set
+    ):
+        """§7.3 reports >95% average improvement for skewed workloads with
+        rho >= 0.5; require a substantial improvement on the reduced set."""
+        model = LSMCostModel(system)
+        deltas = [
+            delta_throughput(model, w, nominal_w11.tuning, robust_w11_rho1.tuning)
+            for w in bench_set
+        ]
+        assert float(np.mean(deltas)) > 0.3
+
+    def test_nominal_slightly_better_when_workload_matches(
+        self, system, w11, nominal_w11, robust_w11_rho1
+    ):
+        """On the exact expected workload the nominal tuning must win (it is
+        the optimum there) but the robust loss stays bounded."""
+        model = LSMCostModel(system)
+        delta = delta_throughput(model, w11, nominal_w11.tuning, robust_w11_rho1.tuning)
+        assert delta <= 0.0
+        assert delta > -0.9
+
+    def test_worst_case_ordering_holds_for_all_expected_workloads(self, system):
+        """For every Table 2 workload, the robust tuning's worst case is no
+        worse than the nominal tuning's worst case (the defining property)."""
+        model = LSMCostModel(system)
+        for index in (1, 4, 7, 11):
+            expected = expected_workload(index).workload
+            nominal = NominalTuner(system=system, starts_per_policy=2, seed=4).tune(expected)
+            robust = RobustTuner(rho=1.0, system=system, starts_per_policy=2, seed=4).tune(expected)
+            region = UncertaintyRegion(expected=expected, rho=1.0)
+            nominal_worst = region.worst_case_cost(model.cost_vector(nominal.tuning))
+            robust_worst = region.worst_case_cost(model.cost_vector(robust.tuning))
+            assert robust_worst <= nominal_worst + 1e-6
+
+
+class TestSystemPipeline:
+    """Model predictions versus simulator measurements."""
+
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return SystemExperiment(
+            system=simulator_system(num_entries=6_000),
+            executor_config=ExecutorConfig(queries_per_workload=400, seed=19),
+            benchmark=UncertaintyBenchmark(size=300, seed=19),
+            starts_per_policy=2,
+            seed=19,
+        )
+
+    @pytest.fixture(scope="class")
+    def comparison(self, experiment):
+        return experiment.run(
+            expected_workload(11).workload, rho=1.0, include_writes=True,
+            workloads_per_session=1,
+        )
+
+    def test_model_and_system_agree_on_who_wins_overall(self, comparison):
+        """§8.3: the cost model accurately captures the *relative* performance
+        of tunings — the tuning the model prefers over the whole sequence is
+        also the one the simulator measures as cheaper."""
+        model_nominal = sum(s.model_ios["nominal"] for s in comparison.sessions)
+        model_robust = sum(s.model_ios["robust"] for s in comparison.sessions)
+        system_nominal = sum(s.system_ios["nominal"] for s in comparison.sessions)
+        system_robust = sum(s.system_ios["robust"] for s in comparison.sessions)
+        assert (model_robust < model_nominal) == (system_robust < system_nominal)
+
+    def test_robust_reduces_io_and_latency_for_w11(self, comparison):
+        summary = comparison.summary()
+        assert summary["io_reduction"] > 0.0
+        assert summary["latency_reduction"] > 0.0
+
+    def test_latency_tracks_io(self, comparison):
+        """The simulated latency is derived from page I/O, so the two metrics
+        must order the tunings identically within every session."""
+        for session in comparison.sessions:
+            io_order = session.system_ios["robust"] <= session.system_ios["nominal"]
+            latency_order = session.latency_us["robust"] <= session.latency_us["nominal"]
+            assert io_order == latency_order

@@ -1,0 +1,103 @@
+"""Tests for concrete query-trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    KeySpace,
+    OperationType,
+    TraceGenerator,
+    Workload,
+    operation_mix,
+)
+
+
+@pytest.fixture(scope="module")
+def key_space() -> KeySpace:
+    return KeySpace.build(num_entries=2_000, seed=3)
+
+
+@pytest.fixture()
+def generator(key_space) -> TraceGenerator:
+    return TraceGenerator(key_space, seed=11)
+
+
+class TestKeySpace:
+    def test_partitions_are_disjoint(self, key_space):
+        assert not set(key_space.existing.tolist()) & set(key_space.missing.tolist())
+
+    def test_sizes(self, key_space):
+        assert key_space.num_entries == 2_000
+        assert key_space.missing.size == 2_000
+
+    def test_fresh_keys_beyond_domain(self, key_space):
+        domain_max = max(key_space.existing.max(), key_space.missing.max())
+        assert key_space.fresh_start > domain_max
+
+    def test_keys_are_sorted(self, key_space):
+        assert np.all(np.diff(key_space.existing) > 0)
+        assert np.all(np.diff(key_space.missing) > 0)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            KeySpace.build(0)
+
+
+class TestTraceGeneration:
+    def test_produces_requested_number_of_operations(self, generator):
+        ops = generator.operations(Workload.uniform(), 400)
+        assert len(ops) == 400
+
+    def test_rejects_non_positive_count(self, generator):
+        with pytest.raises(ValueError):
+            generator.operations(Workload.uniform(), 0)
+
+    def test_empty_gets_use_missing_keys(self, generator, key_space):
+        ops = generator.operations(Workload(1.0, 0.0, 0.0, 0.0), 200)
+        missing = set(key_space.missing.tolist())
+        assert all(op.kind is OperationType.EMPTY_GET for op in ops)
+        assert all(op.key in missing for op in ops)
+
+    def test_gets_use_existing_keys(self, generator, key_space):
+        ops = generator.operations(Workload(0.0, 1.0, 0.0, 0.0), 200)
+        existing = set(key_space.existing.tolist())
+        assert all(op.kind is OperationType.GET for op in ops)
+        assert all(op.key in existing for op in ops)
+
+    def test_puts_use_fresh_unique_keys(self, generator, key_space):
+        ops = generator.operations(Workload(0.0, 0.0, 0.0, 1.0), 200)
+        keys = [op.key for op in ops]
+        assert len(set(keys)) == len(keys)
+        assert min(keys) >= key_space.fresh_start
+
+    def test_fresh_keys_do_not_repeat_across_calls(self, generator):
+        first = generator.operations(Workload(0.0, 0.0, 0.0, 1.0), 50)
+        second = generator.operations(Workload(0.0, 0.0, 0.0, 1.0), 50)
+        assert not {op.key for op in first} & {op.key for op in second}
+
+    def test_range_operations_carry_scan_length(self, key_space):
+        generator = TraceGenerator(key_space, range_scan_keys=32, seed=1)
+        ops = generator.operations(Workload(0.0, 0.0, 1.0, 0.0), 50)
+        assert all(op.kind is OperationType.RANGE for op in ops)
+        assert all(op.scan_length == 32 for op in ops)
+
+    def test_realised_mix_tracks_requested_workload(self, generator):
+        requested = Workload(0.4, 0.3, 0.1, 0.2)
+        ops = generator.operations(requested, 5_000)
+        realised = operation_mix(ops)
+        assert np.allclose(realised.as_array(), requested.as_array(), atol=0.03)
+
+    def test_operation_mix_rejects_empty_trace(self):
+        with pytest.raises(ValueError):
+            operation_mix([])
+
+    def test_bulk_load_items_cover_existing_keys(self, generator, key_space):
+        items = generator.bulk_load_items()
+        assert len(items) == key_space.num_entries
+        assert {key for key, _ in items} == set(key_space.existing.tolist())
+
+    def test_invalid_configuration_rejected(self, key_space):
+        with pytest.raises(ValueError):
+            TraceGenerator(key_space, value_size_bytes=0)
+        with pytest.raises(ValueError):
+            TraceGenerator(key_space, range_scan_keys=0)

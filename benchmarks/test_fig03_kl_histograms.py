@@ -1,6 +1,5 @@
 """Figure 3 — KL-divergence histograms of the benchmark set w.r.t. w0 and w1."""
 
-import numpy as np
 from conftest import run_once
 
 from repro.analysis import figure3_kl_histograms

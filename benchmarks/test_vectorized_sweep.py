@@ -1,0 +1,86 @@
+"""Micro-benchmark — scalar vs vectorised tuner candidate sweep.
+
+The tuners' hot path is the sweep over every candidate ``(T, h, π)`` design.
+The vectorised path evaluates the whole grid with one broadcasted
+``LSMCostModel.cost_matrix`` pass per policy and Brent-refines only the
+near-optimal candidates; the scalar reference path runs one grid + Brent
+solve per candidate size ratio.  This benchmark times both on the same
+workloads, verifies they select the same tunings, and records the speedup as
+a perf baseline for future PRs.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.core import NominalTuner, RobustTuner
+from repro.lsm import SystemConfig
+from repro.workloads import expected_workload
+
+#: Workloads swept by the benchmark (uniform, write-heavy, trimodal).
+WORKLOAD_INDICES = (0, 4, 11)
+
+#: The acceptance floor: the vectorised sweep must be at least this much
+#: faster than the scalar reference.
+MIN_SPEEDUP = 3.0
+
+
+def _time_sweeps(system: SystemConfig) -> list[dict[str, float | str]]:
+    rows: list[dict[str, float | str]] = []
+    for index in WORKLOAD_INDICES:
+        workload = expected_workload(index).workload
+        for kind, make in (
+            ("nominal", lambda v: NominalTuner(system=system, polish=False, vectorized=v)),
+            ("robust", lambda v: RobustTuner(rho=1.0, system=system, polish=False, vectorized=v)),
+        ):
+            start = time.perf_counter()
+            vectorized = make(True).tune(workload)
+            mid = time.perf_counter()
+            scalar = make(False).tune(workload)
+            end = time.perf_counter()
+            vec_s, sca_s = mid - start, end - mid
+            assert vectorized.tuning.policy is scalar.tuning.policy
+            assert abs(vectorized.tuning.size_ratio - scalar.tuning.size_ratio) < 0.05
+            assert (
+                abs(vectorized.tuning.bits_per_entry - scalar.tuning.bits_per_entry)
+                < 0.05
+            )
+            rows.append(
+                {
+                    "workload": f"w{index}",
+                    "tuner": kind,
+                    "scalar_s": sca_s,
+                    "vectorized_s": vec_s,
+                    "speedup": sca_s / vec_s,
+                    "tuning": vectorized.tuning.describe(),
+                }
+            )
+    return rows
+
+
+def test_vectorized_sweep_speedup(benchmark, model_system, report):
+    rows = run_once(benchmark, lambda: _time_sweeps(model_system))
+
+    total_scalar = sum(r["scalar_s"] for r in rows)
+    total_vectorized = sum(r["vectorized_s"] for r in rows)
+    overall = total_scalar / total_vectorized
+    assert overall >= MIN_SPEEDUP, (
+        f"vectorised sweep only {overall:.1f}x faster than the scalar baseline"
+    )
+
+    lines = [
+        f"{'workload':<10}{'tuner':<10}{'scalar (s)':>12}{'vectorized (s)':>16}"
+        f"{'speedup':>10}  {'selected tuning':<30}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['workload']:<10}{row['tuner']:<10}{row['scalar_s']:>12.3f}"
+            f"{row['vectorized_s']:>16.3f}{row['speedup']:>9.1f}x  {row['tuning']:<30}"
+        )
+    lines.append(
+        f"overall: scalar {total_scalar:.2f}s vs vectorized {total_vectorized:.2f}s"
+        f" -> {overall:.1f}x (floor {MIN_SPEEDUP:.0f}x)"
+    )
+    text = "\n".join(lines)
+    report("vectorized_sweep", text)
+    print("\n" + text)

@@ -13,7 +13,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import LSMCostModel, NominalTuner, RobustTuner, SystemConfig, UncertaintyBenchmark
 from repro.analysis import average_delta_throughput, throughput_range

@@ -16,7 +16,10 @@ The package is organised as:
 
 from .core import GridTuner, NominalTuner, RobustTuner, TuningResult, UncertaintyRegion
 from .lsm import (
+    ALL_POLICIES,
+    CLASSIC_POLICIES,
     DEFAULT_SYSTEM,
+    CompactionPolicy,
     CostBreakdown,
     LSMCostModel,
     LSMTuning,
@@ -36,6 +39,9 @@ from .workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ALL_POLICIES",
+    "CLASSIC_POLICIES",
+    "CompactionPolicy",
     "CostBreakdown",
     "DEFAULT_SYSTEM",
     "GridTuner",

@@ -10,12 +10,14 @@ from .metrics import (
 )
 from .model_eval import (
     TuningCatalog,
+    cost_landscape,
     figure3_kl_histograms,
     figure4_delta_by_category,
     figure5_rho_impact,
     figure6_throughput_histograms,
     figure6_throughput_range,
     figure7_contour,
+    policy_table,
     section84_win_rate,
     tuning_table,
 )
@@ -33,6 +35,7 @@ __all__ = [
     "SystemExperiment",
     "TuningCatalog",
     "average_delta_throughput",
+    "cost_landscape",
     "delta_throughput",
     "figure3_kl_histograms",
     "figure4_delta_by_category",
@@ -41,6 +44,7 @@ __all__ = [
     "figure6_throughput_range",
     "figure7_contour",
     "format_comparison",
+    "policy_table",
     "scaling_experiment",
     "section84_win_rate",
     "throughput",

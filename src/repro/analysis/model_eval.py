@@ -14,7 +14,7 @@ values) reproduces the original experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -22,6 +22,7 @@ from ..core.nominal import NominalTuner
 from ..core.results import TuningResult
 from ..core.robust import RobustTuner
 from ..lsm.cost_model import LSMCostModel
+from ..lsm.policy import CLASSIC_POLICIES, Policy
 from ..lsm.system import SystemConfig
 from ..workloads.benchmark import (
     ExpectedWorkload,
@@ -51,6 +52,7 @@ class TuningCatalog:
 
     system: SystemConfig = field(default_factory=SystemConfig)
     starts_per_policy: int = 4
+    policies: Sequence[Policy] = CLASSIC_POLICIES
     _nominal: dict[int, TuningResult] = field(default_factory=dict, init=False)
     _robust: dict[tuple[int, float], TuningResult] = field(
         default_factory=dict, init=False
@@ -65,7 +67,9 @@ class TuningCatalog:
         """Nominal tuning ``Φ_N`` for one expected workload (cached)."""
         if expected.index not in self._nominal:
             tuner = NominalTuner(
-                system=self.system, starts_per_policy=self.starts_per_policy
+                system=self.system,
+                starts_per_policy=self.starts_per_policy,
+                policies=self.policies,
             )
             self._nominal[expected.index] = tuner.tune(expected.workload)
         return self._nominal[expected.index]
@@ -78,6 +82,7 @@ class TuningCatalog:
                 rho=float(rho),
                 system=self.system,
                 starts_per_policy=self.starts_per_policy,
+                policies=self.policies,
             )
             self._robust[key] = tuner.tune(expected.workload)
         return self._robust[key]
@@ -326,6 +331,74 @@ def tuning_table(
                 "robust_worst_case_cost": robust.objective,
             }
         )
+    return rows
+
+
+def cost_landscape(
+    workload: Workload,
+    policy: Policy | str,
+    system: SystemConfig | None = None,
+    size_ratios: Sequence[float] | np.ndarray | None = None,
+    bits_grid_points: int = 33,
+) -> dict[str, np.ndarray]:
+    """Expected-cost surface of one policy over the ``(T, h)`` design grid.
+
+    Evaluates ``C(w, Φ)`` for every candidate tuning in a single vectorised
+    :meth:`~repro.lsm.cost_model.LSMCostModel.cost_matrix` pass — the data
+    behind design-landscape contour plots and a direct way to eyeball why
+    the tuner picks the configuration it picks.
+
+    Returns ``{"size_ratios", "bits_per_entry", "cost"}`` where ``cost`` has
+    shape ``(len(size_ratios), bits_grid_points)``.
+    """
+    system = system if system is not None else SystemConfig()
+    model = LSMCostModel(system)
+    if size_ratios is None:
+        size_ratios = np.arange(2, int(system.max_size_ratio) + 1, dtype=float)
+    size_ratios = np.asarray(size_ratios, dtype=float)
+    bits = np.linspace(
+        system.min_bits_per_entry, system.max_bits_per_entry * 0.999, bits_grid_points
+    )
+    cost = model.workload_cost_matrix(workload, size_ratios, bits, policy)
+    return {"size_ratios": size_ratios, "bits_per_entry": bits, "cost": cost}
+
+
+def policy_table(
+    catalog: TuningCatalog,
+    policies: Sequence[Policy] | None = None,
+    expected_indices: Sequence[int] | None = None,
+) -> list[dict[str, str | float]]:
+    """Best nominal tuning of every expected workload under each policy alone.
+
+    One row per Table 2 workload with, per policy, the optimal ``(T, h)``
+    and its expected cost — the side-by-side view that shows where lazy
+    leveling's hybrid wins over the two classical policies.
+    """
+    if policies is None:
+        policies = list(Policy)
+    table = expected_workloads()
+    if expected_indices is None:
+        expected_indices = range(len(table))
+    rows: list[dict[str, str | float]] = []
+    for expected in (table[i] for i in expected_indices):
+        row: dict[str, str | float] = {
+            "workload": expected.name,
+            "composition": expected.workload.describe(),
+        }
+        best_policy, best_cost = None, np.inf
+        for policy in policies:
+            tuner = NominalTuner(
+                system=catalog.system,
+                starts_per_policy=catalog.starts_per_policy,
+                policies=(policy,),
+            )
+            result = tuner.tune(expected.workload)
+            row[f"{policy.value}_tuning"] = result.tuning.describe()
+            row[f"{policy.value}_cost"] = result.objective
+            if result.objective < best_cost:
+                best_policy, best_cost = policy, result.objective
+        row["best_policy"] = best_policy.value if best_policy is not None else ""
+        rows.append(row)
     return rows
 
 

@@ -22,9 +22,10 @@ import numpy as np
 from ..core.nominal import NominalTuner
 from ..core.robust import RobustTuner
 from ..lsm.cost_model import LSMCostModel
+from ..lsm.policy import CLASSIC_POLICIES, Policy
 from ..lsm.system import SystemConfig, simulator_system
 from ..lsm.tuning import LSMTuning
-from ..storage.executor import ExecutorConfig, SequenceMeasurement, WorkloadExecutor
+from ..storage.executor import ExecutorConfig, WorkloadExecutor
 from ..workloads.benchmark import UncertaintyBenchmark, expected_workloads
 from ..workloads.sessions import SessionGenerator, SessionSequence
 from ..workloads.workload import Workload
@@ -39,6 +40,16 @@ class SessionComparison:
     model_ios: Mapping[str, float]
     system_ios: Mapping[str, float]
     latency_us: Mapping[str, float]
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise to plain JSON-compatible data."""
+        return {
+            "session": self.session,
+            "observed_workload": self.observed_workload.as_dict(),
+            "model_ios": dict(self.model_ios),
+            "system_ios": dict(self.system_ios),
+            "latency_us": dict(self.latency_us),
+        }
 
 
 @dataclass(frozen=True)
@@ -66,6 +77,23 @@ class SequenceComparison:
             "robust_mean_io_per_query": float(robust_io.mean()),
         }
 
+    def to_dict(self) -> dict[str, object]:
+        """Serialise the whole comparison to plain JSON-compatible data.
+
+        This is what ``repro-endure compare --json`` emits, so downstream
+        tooling can consume the experiment without scraping the text table.
+        """
+        return {
+            "expected_workload": self.expected.as_dict(),
+            "rho": self.rho,
+            "observed_divergence": self.observed_divergence,
+            "tunings": {
+                name: tuning.to_dict() for name, tuning in self.tunings.items()
+            },
+            "sessions": [session.to_dict() for session in self.sessions],
+            "summary": self.summary(),
+        }
+
 
 @dataclass
 class SystemExperiment:
@@ -81,12 +109,18 @@ class SystemExperiment:
         Uncertainty benchmark supplying the session workloads.
     starts_per_policy:
         Multi-start budget of the tuners.
+    policies:
+        Compaction policies the tuners may choose from (the paper's
+        classical pair by default; include
+        :data:`~repro.lsm.policy.Policy.LAZY_LEVELING` to let the
+        experiment deploy lazy-leveling trees).
     """
 
     system: SystemConfig = field(default_factory=simulator_system)
     executor_config: ExecutorConfig = field(default_factory=ExecutorConfig)
     benchmark: UncertaintyBenchmark | None = None
     starts_per_policy: int = 4
+    policies: Sequence[Policy] = CLASSIC_POLICIES
     seed: int = 11
 
     def __post_init__(self) -> None:
@@ -101,10 +135,15 @@ class SystemExperiment:
     def tunings_for(self, expected: Workload, rho: float) -> dict[str, LSMTuning]:
         """Nominal and robust tunings (deployable, integer T) for ``expected``."""
         nominal = NominalTuner(
-            system=self.system, starts_per_policy=self.starts_per_policy
+            system=self.system,
+            starts_per_policy=self.starts_per_policy,
+            policies=self.policies,
         ).tune(expected)
         robust = RobustTuner(
-            rho=rho, system=self.system, starts_per_policy=self.starts_per_policy
+            rho=rho,
+            system=self.system,
+            starts_per_policy=self.starts_per_policy,
+            policies=self.policies,
         ).tune(expected)
         return {
             "nominal": nominal.tuning.rounded(),

@@ -6,9 +6,13 @@ Recommend a tuning for an expected workload::
 
     repro-endure tune --workload 0.33 0.33 0.33 0.01 --rho 1.0
 
+Restrict (or widen) the compaction-policy search space::
+
+    repro-endure tune --workload 0.25 0.25 0.25 0.25 --policy lazy-leveling
+
 Compare nominal and robust tunings on the simulator::
 
-    repro-endure compare --expected-index 11 --rho 0.25
+    repro-endure compare --expected-index 11 --rho 0.25 --json
 
 Print the Table 2 expected workloads::
 
@@ -26,22 +30,45 @@ from .analysis.model_eval import TuningCatalog, tuning_table
 from .analysis.system_eval import SystemExperiment, format_comparison
 from .core.nominal import NominalTuner
 from .core.robust import RobustTuner
+from .lsm.policy import ALL_POLICIES, CLASSIC_POLICIES, Policy
 from .lsm.system import SystemConfig, simulator_system
 from .workloads.benchmark import expected_workloads
 from .workloads.workload import Workload
+
+#: ``--policy`` choices: each concrete policy plus the exhaustive sweeps.
+_POLICY_CHOICES = tuple(p.value for p in ALL_POLICIES) + ("classic", "all")
 
 
 def _workload_from_args(values: Sequence[float]) -> Workload:
     return Workload.from_array([float(v) for v in values])
 
 
+def _policies_from_arg(value: str) -> tuple[Policy, ...]:
+    """Resolve a ``--policy`` flag value to the tuner's policy search space."""
+    if value == "all":
+        return ALL_POLICIES
+    if value == "classic":
+        return CLASSIC_POLICIES
+    return (Policy.from_value(value),)
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     workload = _workload_from_args(args.workload)
     system = SystemConfig()
-    nominal = NominalTuner(system=system).tune(workload)
-    output = {"workload": workload.as_dict(), "nominal": nominal.tuning.to_dict()}
+    if args.num_entries is not None:
+        system = system.scaled(args.num_entries)
+    policies = _policies_from_arg(args.policy)
+    nominal = NominalTuner(system=system, policies=policies).tune(workload)
+    output = {
+        "workload": workload.as_dict(),
+        "policies": [p.value for p in policies],
+        "num_entries": system.num_entries,
+        "nominal": nominal.tuning.to_dict(),
+    }
     if args.rho > 0:
-        robust = RobustTuner(rho=args.rho, system=system).tune(workload)
+        robust = RobustTuner(rho=args.rho, system=system, policies=policies).tune(
+            workload
+        )
         output["robust"] = robust.tuning.to_dict()
         output["rho"] = args.rho
     print(json.dumps(output, indent=2))
@@ -67,10 +94,14 @@ def _cmd_table(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     expected = expected_workloads()[args.expected_index].workload
     experiment = SystemExperiment(
-        system=simulator_system(num_entries=args.num_entries)
+        system=simulator_system(num_entries=args.num_entries),
+        policies=_policies_from_arg(args.policy),
     )
     comparison = experiment.run(expected, rho=args.rho)
-    print(format_comparison(comparison))
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2))
+    else:
+        print(format_comparison(comparison))
     return 0
 
 
@@ -92,6 +123,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload proportions (empty reads, non-empty reads, ranges, writes)",
     )
     tune.add_argument("--rho", type=float, default=1.0, help="uncertainty radius")
+    tune.add_argument(
+        "--policy",
+        choices=_POLICY_CHOICES,
+        default="classic",
+        help="compaction policies the tuner may choose from "
+        "('classic' = the paper's leveling+tiering pair, 'all' additionally "
+        "allows lazy-leveling)",
+    )
+    tune.add_argument(
+        "--num-entries",
+        type=int,
+        default=None,
+        help="scale the system to this many entries (memory budget scales along)",
+    )
     tune.set_defaults(func=_cmd_tune)
 
     workloads = subparsers.add_parser("workloads", help="print Table 2 workloads")
@@ -107,6 +152,17 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--expected-index", type=int, default=11)
     compare.add_argument("--rho", type=float, default=0.25)
     compare.add_argument("--num-entries", type=int, default=30_000)
+    compare.add_argument(
+        "--policy",
+        choices=_POLICY_CHOICES,
+        default="classic",
+        help="compaction policies the tuners may deploy on the simulator",
+    )
+    compare.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the comparison as machine-readable JSON instead of a table",
+    )
     compare.set_defaults(func=_cmd_compare)
     return parser
 

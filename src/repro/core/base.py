@@ -6,13 +6,18 @@ surface is piecewise smooth with plateaus and jumps in ``T``; a single
 continuous solve is unreliable there.  The tuners therefore:
 
 1. enumerate candidate size ratios (every deployable integer by default),
-2. solve the remaining smooth, low-dimensional sub-problem at each candidate
-   with bounded scalar minimisation (Brent), which is fast and reliable, and
+2. evaluate the whole ``(T, h)`` candidate grid in one vectorised
+   :meth:`~repro.lsm.cost_model.LSMCostModel.cost_matrix` pass and refine the
+   promising candidates with bounded scalar minimisation (Brent) over the
+   remaining smooth sub-problem, and
 3. polish the best candidate with a final continuous SLSQP solve over all
    design variables — the solver the paper uses — which recovers the
    fractional size ratios the paper reports.
 
 Each compaction policy is optimised independently and the better one wins.
+The pre-vectorisation scalar sweep (one Brent solve per candidate size
+ratio) is kept behind ``vectorized=False`` as a reference implementation;
+the micro-benchmark in ``benchmarks/`` times one against the other.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ import numpy as np
 from scipy import optimize
 
 from ..lsm.cost_model import LSMCostModel
-from ..lsm.policy import ALL_POLICIES, Policy
+from ..lsm.policy import CLASSIC_POLICIES, Policy
 from ..lsm.system import SystemConfig
 from ..lsm.tuning import LSMTuning
 from ..workloads.workload import Workload
@@ -32,6 +37,13 @@ from .results import TuningResult
 
 #: Small margin keeping the solver away from degenerate boundary values.
 _EPSILON = 1e-6
+
+#: Number of Bloom-filter grid points of the candidate sweep (both paths).
+_BITS_GRID_POINTS = 24
+
+#: Candidates whose grid objective is within this factor of the per-policy
+#: best are Brent-refined in the vectorised sweep; everything else is pruned.
+_REFINE_MARGIN = 1.05
 
 
 def default_ratio_candidates(max_size_ratio: float) -> np.ndarray:
@@ -53,7 +65,9 @@ class BaseTuner(abc.ABC):
     system:
         System configuration to tune for.
     policies:
-        Compaction policies to consider (both, by default).
+        Compaction policies to consider (the paper's classical pair —
+        leveling and tiering — by default; pass
+        :data:`~repro.lsm.policy.ALL_POLICIES` to include lazy leveling).
     ratio_candidates:
         Candidate size ratios swept by the outer loop; defaults to all
         integers in ``[2, max_size_ratio]``.
@@ -62,6 +76,11 @@ class BaseTuner(abc.ABC):
     polish:
         Whether to run the final continuous SLSQP refinement (including ``T``)
         around the best candidate.
+    vectorized:
+        Whether the candidate sweep evaluates the ``(T, h)`` grid with the
+        batched :meth:`~repro.lsm.cost_model.LSMCostModel.cost_matrix`
+        (default) or with one scalar Brent solve per candidate size ratio
+        (the pre-vectorisation reference path).
     seed:
         Seed of the random starting points used by the polish step.
     """
@@ -69,10 +88,11 @@ class BaseTuner(abc.ABC):
     def __init__(
         self,
         system: SystemConfig | None = None,
-        policies: Sequence[Policy] = ALL_POLICIES,
+        policies: Sequence[Policy] = CLASSIC_POLICIES,
         ratio_candidates: Sequence[float] | None = None,
         starts_per_policy: int = 2,
         polish: bool = True,
+        vectorized: bool = True,
         seed: int = 0,
     ) -> None:
         self.system = system if system is not None else SystemConfig()
@@ -84,6 +104,7 @@ class BaseTuner(abc.ABC):
             raise ValueError("starts_per_policy must be positive")
         self.starts_per_policy = starts_per_policy
         self.polish = polish
+        self.vectorized = vectorized
         if ratio_candidates is None:
             ratio_candidates = default_ratio_candidates(self.system.max_size_ratio)
         self.ratio_candidates = np.asarray(sorted(ratio_candidates), dtype=float)
@@ -102,7 +123,7 @@ class BaseTuner(abc.ABC):
 
         Returns ``(inner_variables, objective_value)`` where the inner
         variables are ``[h]`` for the nominal tuner and ``[h, λ]`` for the
-        robust tuner.
+        robust tuner.  Used by the scalar reference sweep.
         """
 
     @abc.abstractmethod
@@ -127,6 +148,29 @@ class BaseTuner(abc.ABC):
     ) -> TuningResult:
         """Convert the best design into a :class:`TuningResult`."""
 
+    @abc.abstractmethod
+    def _objective_from_costs(
+        self, cost_matrix: np.ndarray, workload: Workload
+    ) -> np.ndarray:
+        """Batched objective over pre-computed cost vectors.
+
+        ``cost_matrix`` has shape ``(..., 4)``; the result drops the last
+        axis.  This is the vectorised counterpart of evaluating
+        :meth:`_objective` at every grid cell and powers the candidate sweep.
+        """
+
+    @abc.abstractmethod
+    def _value_at(
+        self, size_ratio: float, bits: float, policy: Policy, workload: Workload
+    ) -> float:
+        """Scalar objective at one ``(T, h)`` point (for the Brent refine)."""
+
+    @abc.abstractmethod
+    def _inner_from_design(
+        self, size_ratio: float, bits: float, policy: Policy, workload: Workload
+    ) -> np.ndarray:
+        """Recover the inner-variable vector of a swept ``(T, h)`` design."""
+
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
@@ -142,6 +186,11 @@ class BaseTuner(abc.ABC):
             self.system.min_bits_per_entry,
             self.system.max_bits_per_entry - _EPSILON,
         )
+
+    def _bits_grid(self, grid_points: int = _BITS_GRID_POINTS) -> np.ndarray:
+        """The Bloom-filter grid swept for every candidate size ratio."""
+        lo, hi = self.bits_per_entry_bounds
+        return np.linspace(lo, hi, grid_points)
 
     def _tuning_from(self, size_ratio: float, bits: float, policy: Policy) -> LSMTuning:
         """Build a tuning, clamping the design into the legal box."""
@@ -159,22 +208,16 @@ class BaseTuner(abc.ABC):
             objective, bounds=bounds, method="bounded", options={"xatol": 1e-4}
         )
 
-    def _grid_then_refine(
-        self, objective, bounds: tuple[float, float], grid_points: int = 24
+    def _refine_bracket(
+        self,
+        objective,
+        grid: np.ndarray,
+        values: np.ndarray,
+        best: int,
     ) -> tuple[float, float]:
-        """Global-ish 1-D minimisation: coarse grid scan + local Brent refine.
-
-        The cost surface is only piecewise smooth in the Bloom-filter budget
-        (the level count jumps as the write buffer shrinks), so a pure local
-        method can stall on a plateau; scanning a coarse grid first and then
-        refining inside the best bracket is fast and reliable.
-        """
-        lo, hi = bounds
-        grid = np.linspace(lo, hi, grid_points)
-        values = np.array([objective(x) for x in grid])
-        best = int(np.argmin(values))
+        """Brent-refine inside the grid bracket around the best grid point."""
         bracket_lo = grid[max(best - 1, 0)]
-        bracket_hi = grid[min(best + 1, grid_points - 1)]
+        bracket_hi = grid[min(best + 1, grid.size - 1)]
         if bracket_hi <= bracket_lo:
             return float(grid[best]), float(values[best])
         result = optimize.minimize_scalar(
@@ -187,6 +230,22 @@ class BaseTuner(abc.ABC):
             return float(result.x), float(result.fun)
         return float(grid[best]), float(values[best])
 
+    def _grid_then_refine(
+        self, objective, bounds: tuple[float, float], grid_points: int = _BITS_GRID_POINTS
+    ) -> tuple[float, float]:
+        """Global-ish 1-D minimisation: coarse grid scan + local Brent refine.
+
+        The cost surface is only piecewise smooth in the Bloom-filter budget
+        (the level count jumps as the write buffer shrinks), so a pure local
+        method can stall on a plateau; scanning a coarse grid first and then
+        refining inside the best bracket is fast and reliable.
+        """
+        lo, hi = bounds
+        grid = np.linspace(lo, hi, grid_points)
+        values = np.array([objective(x) for x in grid])
+        best = int(np.argmin(values))
+        return self._refine_bracket(objective, grid, values, best)
+
     def _slsqp(self, objective, start: np.ndarray, bounds) -> optimize.OptimizeResult:
         """Run one SLSQP minimisation from a starting point."""
         return optimize.minimize(
@@ -198,10 +257,12 @@ class BaseTuner(abc.ABC):
         )
 
     # ------------------------------------------------------------------
-    # Main entry point
+    # Candidate sweeps
     # ------------------------------------------------------------------
-    def tune(self, workload: Workload) -> TuningResult:
-        """Solve the tuning problem for ``workload`` and return the best result."""
+    def _sweep_scalar(
+        self, workload: Workload
+    ) -> tuple[float | None, np.ndarray | None, Policy | None, float, dict[str, float]]:
+        """Reference sweep: one Brent inner solve per (policy, size ratio)."""
         best_value = np.inf
         best_ratio: float | None = None
         best_inner: np.ndarray | None = None
@@ -222,6 +283,74 @@ class BaseTuner(abc.ABC):
                     best_inner = np.asarray(inner, dtype=float)
                     best_policy = policy
             per_policy[policy.value] = policy_best
+        return best_ratio, best_inner, best_policy, best_value, per_policy
+
+    def _sweep_vectorized(
+        self, workload: Workload
+    ) -> tuple[float | None, np.ndarray | None, Policy | None, float, dict[str, float]]:
+        """Batched sweep: one cost-matrix pass per policy + pruned refinement.
+
+        The full ``(T, h)`` grid is evaluated in a single broadcasted NumPy
+        pass; only candidates whose grid objective lands within
+        :data:`_REFINE_MARGIN` of the per-policy best are Brent-refined, which
+        preserves the scalar sweep's selections while skipping the vast
+        majority of its scalar objective evaluations.
+        """
+        best_value = np.inf
+        best_ratio: float | None = None
+        best_bits: float | None = None
+        best_policy: Policy | None = None
+        per_policy: dict[str, float] = {}
+        bits_grid = self._bits_grid()
+
+        for policy in self.policies:
+            costs = self.cost_model.cost_matrix(
+                self.ratio_candidates, bits_grid, policy
+            )
+            objective = np.asarray(
+                self._objective_from_costs(costs, workload), dtype=float
+            )
+            objective = np.where(np.isfinite(objective), objective, np.inf)
+            row_best = np.argmin(objective, axis=1)
+            row_values = objective[np.arange(objective.shape[0]), row_best]
+            policy_best = float(np.min(row_values))
+            if not np.isfinite(policy_best):
+                per_policy[policy.value] = policy_best
+                continue
+            threshold = policy_best * _REFINE_MARGIN
+            for row in np.flatnonzero(row_values <= threshold):
+                size_ratio = float(self.ratio_candidates[row])
+                bits, value = self._refine_bracket(
+                    lambda h: self._value_at(size_ratio, float(h), policy, workload),
+                    bits_grid,
+                    objective[row],
+                    int(row_best[row]),
+                )
+                if not np.isfinite(value):
+                    continue
+                if value < policy_best:
+                    policy_best = value
+                if value < best_value:
+                    best_value = value
+                    best_ratio = size_ratio
+                    best_bits = bits
+                    best_policy = policy
+            per_policy[policy.value] = policy_best
+
+        best_inner: np.ndarray | None = None
+        if best_policy is not None:
+            best_inner = self._inner_from_design(
+                best_ratio, best_bits, best_policy, workload
+            )
+        return best_ratio, best_inner, best_policy, best_value, per_policy
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def tune(self, workload: Workload) -> TuningResult:
+        """Solve the tuning problem for ``workload`` and return the best result."""
+        sweep = self._sweep_vectorized if self.vectorized else self._sweep_scalar
+        best_ratio, best_inner, best_policy, best_value, per_policy = sweep(workload)
 
         if best_ratio is None or best_inner is None or best_policy is None:
             raise RuntimeError("the optimiser failed to produce any finite solution")

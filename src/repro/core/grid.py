@@ -1,19 +1,26 @@
 """Exhaustive grid-search tuner.
 
 A brute-force baseline used to validate the SLSQP-based tuners: it sweeps an
-integer grid of size ratios and a grid of Bloom-filter allocations for both
-policies and keeps the configuration with the smallest objective.  It can
+integer grid of size ratios and a grid of Bloom-filter allocations for every
+policy and keeps the configuration with the smallest objective.  It can
 optimise either the nominal objective or the robust worst-case objective, so
 the test-suite can confirm that the continuous solvers land at (or very near)
 the grid optimum.
+
+The cost vectors of the whole grid come from one vectorised
+:meth:`~repro.lsm.cost_model.LSMCostModel.cost_matrix` pass per policy; only
+the exact worst-case solve of the robust objective (``ρ > 0``) remains a
+per-cell scalar computation.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..lsm.cost_model import LSMCostModel
-from ..lsm.policy import ALL_POLICIES, Policy
+from ..lsm.policy import CLASSIC_POLICIES, Policy
 from ..lsm.system import SystemConfig
 from ..lsm.tuning import LSMTuning
 from ..workloads.workload import Workload
@@ -35,6 +42,10 @@ class GridTuner:
         Number of equally spaced Bloom-filter allocations to try.
     rho:
         Uncertainty radius; 0 reproduces the nominal objective.
+    policies:
+        Compaction policies to consider (the paper's classical pair by
+        default; pass :data:`~repro.lsm.policy.ALL_POLICIES` to include
+        lazy leveling).
     """
 
     def __init__(
@@ -43,6 +54,7 @@ class GridTuner:
         size_ratios: np.ndarray | None = None,
         bits_grid_points: int = 33,
         rho: float = 0.0,
+        policies: Sequence[Policy] = CLASSIC_POLICIES,
     ) -> None:
         if rho < 0:
             raise ValueError("rho must be non-negative")
@@ -51,6 +63,9 @@ class GridTuner:
         self.system = system if system is not None else SystemConfig()
         self.cost_model = LSMCostModel(self.system)
         self.rho = rho
+        self.policies = tuple(Policy.from_value(p) for p in policies)
+        if not self.policies:
+            raise ValueError("at least one compaction policy is required")
         if size_ratios is None:
             upper = int(min(self.system.max_size_ratio, 100.0))
             size_ratios = np.arange(2, upper + 1, dtype=float)
@@ -61,32 +76,37 @@ class GridTuner:
             bits_grid_points,
         )
 
-    def _objective(self, workload: Workload, tuning: LSMTuning) -> float:
-        cost_vector = self.cost_model.cost_vector(tuning)
+    def _objective_grid(self, workload: Workload, costs: np.ndarray) -> np.ndarray:
+        """Objective of every grid cell, given its pre-computed cost vectors."""
         if self.rho == 0.0:
-            return float(np.dot(workload.as_array(), cost_vector))
+            return costs @ workload.as_array()
         region = UncertaintyRegion(expected=workload, rho=self.rho)
-        return region.worst_case_cost(cost_vector)
+        values = np.empty(costs.shape[:-1], dtype=float)
+        for index in np.ndindex(values.shape):
+            values[index] = region.worst_case_cost(costs[index])
+        return values
 
     def tune(self, workload: Workload) -> TuningResult:
         """Exhaustively search the grid and return the best configuration."""
         best_tuning: LSMTuning | None = None
         best_value = np.inf
         evaluated = 0
-        for policy in ALL_POLICIES:
-            for size_ratio in self.size_ratios:
-                for bits in self.bits_grid:
-                    tuning = LSMTuning(
-                        size_ratio=float(size_ratio),
-                        bits_per_entry=float(bits),
-                        policy=policy,
-                    )
-                    value = self._objective(workload, tuning)
-                    evaluated += 1
-                    if value < best_value:
-                        best_value = value
-                        best_tuning = tuning
-        if best_tuning is None:
+        for policy in self.policies:
+            costs = self.cost_model.cost_matrix(
+                self.size_ratios, self.bits_grid, policy
+            )
+            values = self._objective_grid(workload, costs)
+            evaluated += values.size
+            flat_best = int(np.argmin(values))
+            row, col = np.unravel_index(flat_best, values.shape)
+            if values[row, col] < best_value:
+                best_value = float(values[row, col])
+                best_tuning = LSMTuning(
+                    size_ratio=float(self.size_ratios[row]),
+                    bits_per_entry=float(self.bits_grid[col]),
+                    policy=policy,
+                )
+        if best_tuning is None or not np.isfinite(best_value):
             raise RuntimeError("grid search evaluated no configurations")
         return TuningResult(
             tuning=best_tuning,

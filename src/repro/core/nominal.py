@@ -28,6 +28,21 @@ class NominalTuner(BaseTuner):
         except (ValueError, OverflowError):
             return float("inf")
 
+    def _value_at(
+        self, size_ratio: float, bits: float, policy: Policy, workload: Workload
+    ) -> float:
+        return self._cost(size_ratio, bits, policy, workload)
+
+    def _objective_from_costs(
+        self, cost_matrix: np.ndarray, workload: Workload
+    ) -> np.ndarray:
+        return cost_matrix @ workload.as_array()
+
+    def _inner_from_design(
+        self, size_ratio: float, bits: float, policy: Policy, workload: Workload
+    ) -> np.ndarray:
+        return np.array([bits])
+
     def _optimize_inner(
         self, size_ratio: float, policy: Policy, workload: Workload
     ) -> tuple[np.ndarray, float]:

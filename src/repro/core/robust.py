@@ -62,19 +62,53 @@ class RobustTuner(BaseTuner):
         ``λ`` equals it (strong duality).
         """
         lam = float(max(lam, _LAMBDA_BOUNDS[0]))
-        log_expectation = float(logsumexp(cost_vector / lam, b=workload.as_array()))
+        weights = workload.as_array()
+        support = weights > 0.0
+        log_expectation = float(
+            logsumexp(cost_vector[support] / lam, b=weights[support])
+        )
         return self.rho * lam + lam * log_expectation
 
     def _dual_values_on_grid(
         self, cost_vector: np.ndarray, weights: np.ndarray, lams: np.ndarray
     ) -> np.ndarray:
-        """Vectorised evaluation of the dual over a grid of λ values."""
-        scaled = cost_vector[None, :] / lams[:, None]
-        shift = scaled.max(axis=1)
+        """Vectorised evaluation of the dual over a grid of λ values.
+
+        Only the workload's support enters the log-expectation: a zero-weight
+        component contributes nothing to ``Σ w_i exp(c_i/λ)``, but if its cost
+        dominated the stabilising shift it would drive every supported term to
+        underflow and the log to ``-inf`` for small λ.
+        """
+        support = weights > 0.0
+        scaled = cost_vector[..., None, support] / lams[..., :, None]
+        shift = scaled.max(axis=-1)
         log_expectation = (
-            np.log(np.dot(np.exp(scaled - shift[:, None]), weights)) + shift
+            np.log(np.exp(scaled - shift[..., None]) @ weights[support]) + shift
         )
         return self.rho * lams + lams * log_expectation
+
+    def _worst_case_batch(
+        self, cost_matrix: np.ndarray, workload: Workload
+    ) -> np.ndarray:
+        """Worst-case cost of every cell of a batch of cost vectors.
+
+        The batched counterpart of :meth:`_worst_case_of_cost`: evaluates the
+        dual of all cells over the same logarithmic λ grid at once, then
+        refines each cell inside its best bracket — one broadcasted pass for
+        the tuner's whole ``(T, h)`` candidate grid.
+        """
+        weights = workload.as_array()
+        if self.rho == 0.0:
+            return cost_matrix @ weights
+        log_grid = np.linspace(*_LOG_LAMBDA_BOUNDS, 64)
+        values = self._dual_values_on_grid(cost_matrix, weights, np.exp(log_grid))
+        best = np.argmin(values, axis=-1)
+        lo = log_grid[np.maximum(best - 1, 0)]
+        hi = log_grid[np.minimum(best + 1, log_grid.size - 1)]
+        fractions = np.linspace(0.0, 1.0, 17)
+        refine = lo[..., None] + (hi - lo)[..., None] * fractions
+        refined = self._dual_values_on_grid(cost_matrix, weights, np.exp(refine))
+        return refined.min(axis=-1)
 
     def _worst_case_of_cost(
         self, cost_vector: np.ndarray, workload: Workload
@@ -99,24 +133,41 @@ class RobustTuner(BaseTuner):
         return float(refined[best_refined]), float(np.exp(refine[best_refined]))
 
     # ------------------------------------------------------------------
+    # Candidate-sweep hooks (vectorised path)
+    # ------------------------------------------------------------------
+    def _objective_from_costs(
+        self, cost_matrix: np.ndarray, workload: Workload
+    ) -> np.ndarray:
+        return self._worst_case_batch(cost_matrix, workload)
+
+    def _value_at(
+        self, size_ratio: float, bits: float, policy: Policy, workload: Workload
+    ) -> float:
+        try:
+            tuning = self._tuning_from(size_ratio, bits, policy)
+            cost_vector = self.cost_model.cost_vector(tuning)
+        except (ValueError, OverflowError):
+            return float("inf")
+        return self._worst_case_of_cost(cost_vector, workload)[0]
+
+    def _inner_from_design(
+        self, size_ratio: float, bits: float, policy: Policy, workload: Workload
+    ) -> np.ndarray:
+        tuning = self._tuning_from(size_ratio, bits, policy)
+        _, lam = self._worst_case_of_cost(self.cost_model.cost_vector(tuning), workload)
+        return np.array([bits, min(lam, _LAMBDA_BOUNDS[1])])
+
+    # ------------------------------------------------------------------
     # Inner optimisation at a fixed size ratio
     # ------------------------------------------------------------------
     def _optimize_inner(
         self, size_ratio: float, policy: Policy, workload: Workload
     ) -> tuple[np.ndarray, float]:
-        def value_at(bits: float) -> float:
-            try:
-                tuning = self._tuning_from(size_ratio, float(bits), policy)
-                cost_vector = self.cost_model.cost_vector(tuning)
-            except (ValueError, OverflowError):
-                return float("inf")
-            return self._worst_case_of_cost(cost_vector, workload)[0]
-
-        bits, value = self._grid_then_refine(value_at, self.bits_per_entry_bounds)
-        tuning = self._tuning_from(size_ratio, bits, policy)
-        _, lam = self._worst_case_of_cost(self.cost_model.cost_vector(tuning), workload)
-        lam = min(lam, _LAMBDA_BOUNDS[1])
-        return np.array([bits, lam]), value
+        bits, value = self._grid_then_refine(
+            lambda b: self._value_at(size_ratio, float(b), policy, workload),
+            self.bits_per_entry_bounds,
+        )
+        return self._inner_from_design(size_ratio, bits, policy, workload), value
 
     # ------------------------------------------------------------------
     # Full-design objective (used by the SLSQP polish)

@@ -68,8 +68,16 @@ class UncertaintyRegion:
         if self.rho == 0.0 or np.allclose(cost, cost[0]):
             return self.expected
 
+        # The tilted maximiser lives on the support of the expected workload
+        # (zero-weight components stay zero), so the stabilising shift must be
+        # the largest *supported* cost — otherwise a dominating zero-weight
+        # component would underflow every supported term to 0/0.
+        support = base > 0.0
+        cost_shift = float(cost[support].max())
+
         def tilted(inverse_lambda: float) -> np.ndarray:
-            weights = base * np.exp(inverse_lambda * (cost - cost.max()))
+            exponent = np.where(support, inverse_lambda * (cost - cost_shift), -np.inf)
+            weights = base * np.exp(exponent)
             return weights / weights.sum()
 
         def divergence_of(inverse_lambda: float) -> float:
@@ -104,9 +112,14 @@ class UncertaintyRegion:
 
 def _argmax_vertex(base: np.ndarray, cost: np.ndarray) -> np.ndarray:
     """Distribution concentrating all mass (minus support constraints) on the
-    costliest component; used to bound the reachable KL divergence."""
-    vertex = np.full_like(base, 1e-12)
-    vertex[int(np.argmax(cost))] = 1.0
+    costliest *supported* component; used to bound the reachable KL divergence.
+
+    Tilting can never move mass onto a component the expected workload gives
+    zero weight, so the bound only considers the expected workload's support.
+    """
+    support = np.flatnonzero(base > 0.0)
+    vertex = np.where(base > 0.0, 1e-12, 0.0)
+    vertex[support[int(np.argmax(cost[support]))]] = 1.0
     return vertex / vertex.sum()
 
 

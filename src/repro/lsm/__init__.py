@@ -3,25 +3,42 @@
 from .bloom import (
     monkey_bits_per_level,
     monkey_false_positive_rates,
+    monkey_false_positive_rates_batch,
     optimal_hash_count,
     uniform_false_positive_rate,
 )
 from .cost_model import COST_COMPONENTS, CostBreakdown, LSMCostModel
-from .policy import ALL_POLICIES, Policy
+from .policy import (
+    ALL_POLICIES,
+    CLASSIC_POLICIES,
+    CompactionPolicy,
+    LazyLevelingPolicy,
+    LevelingPolicy,
+    Policy,
+    TieringPolicy,
+    get_policy,
+)
 from .system import DEFAULT_SYSTEM, SystemConfig, simulator_system
 from .tuning import LSMTuning
 
 __all__ = [
     "ALL_POLICIES",
+    "CLASSIC_POLICIES",
     "COST_COMPONENTS",
+    "CompactionPolicy",
     "CostBreakdown",
     "DEFAULT_SYSTEM",
     "LSMCostModel",
     "LSMTuning",
+    "LazyLevelingPolicy",
+    "LevelingPolicy",
     "Policy",
     "SystemConfig",
+    "TieringPolicy",
+    "get_policy",
     "monkey_bits_per_level",
     "monkey_false_positive_rates",
+    "monkey_false_positive_rates_batch",
     "optimal_hash_count",
     "simulator_system",
     "uniform_false_positive_rate",

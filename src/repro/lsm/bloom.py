@@ -68,11 +68,27 @@ def monkey_false_positive_rates(
         raise ValueError("bits_per_entry must be non-negative")
 
     levels = np.arange(1, num_levels + 1, dtype=float)
-    base = math.exp(-bits_per_entry * LN2_SQUARED)
+    return monkey_false_positive_rates_batch(
+        size_ratio, bits_per_entry, num_levels, levels
+    )
+
+
+def monkey_false_positive_rates_batch(size_ratio, bits_per_entry, num_levels, level):
+    """Broadcastable form of :func:`monkey_false_positive_rates` (Eq. 11).
+
+    All four arguments may be scalars or NumPy arrays of compatible shapes;
+    the result is the elementwise false-positive rate of the filters at
+    ``level`` in a tree of ``num_levels`` levels, clamped to ``[0, 1]``.
+    This is the kernel of the vectorised
+    :meth:`~repro.lsm.cost_model.LSMCostModel.cost_matrix` pass.
+    """
+    size_ratio = np.asarray(size_ratio, dtype=float)
     # T^(T/(T-1)) / T^(L+1-i): smaller (higher) levels receive more memory and
     # therefore exhibit lower false-positive rates.
-    exponent = size_ratio / (size_ratio - 1.0) - (num_levels + 1.0 - levels)
-    rates = np.power(size_ratio, exponent) * base
+    exponent = size_ratio / (size_ratio - 1.0) - (num_levels + 1.0 - np.asarray(level))
+    rates = np.power(size_ratio, exponent) * np.exp(
+        -np.asarray(bits_per_entry, dtype=float) * LN2_SQUARED
+    )
     return np.clip(rates, 0.0, 1.0)
 
 

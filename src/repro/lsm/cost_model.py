@@ -11,15 +11,26 @@ I/O operations of the four basic query types:
 Given a workload ``w = (z0, z1, q, w)`` the expected per-query cost is the
 dot product ``C(w, Φ) = w · c(Φ)`` (Equation 2), and the throughput used in
 the evaluation is its reciprocal.
+
+All per-policy structure enters through exactly two quantities supplied by
+the :class:`~repro.lsm.policy.CompactionPolicy` strategy objects — the
+expected number of runs per level and the per-level merge amortisation
+factor — so adding a policy never touches the equations here.  The same
+definitions power two evaluation paths:
+
+* the scalar methods (:meth:`LSMCostModel.cost_vector` and friends), and
+* :meth:`LSMCostModel.cost_matrix`, which evaluates a whole ``(T, h)``
+  candidate grid in one broadcasted NumPy pass — the tuners' hot path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from .bloom import monkey_false_positive_rates
+from .bloom import monkey_false_positive_rates, monkey_false_positive_rates_batch
 from .policy import Policy
 from .system import SystemConfig
 from .tuning import LSMTuning
@@ -78,33 +89,45 @@ class LSMCostModel:
             tuning.size_ratio, tuning.bits_per_entry, self.num_levels(tuning)
         )
 
+    def _level_structure(
+        self, tuning: LSMTuning
+    ) -> tuple[int, np.ndarray, np.ndarray]:
+        """Per-level ``(L, false-positive rates, runs)`` of one tuning."""
+        levels = self.num_levels(tuning)
+        rates = self.false_positive_rates(tuning)
+        indices = np.arange(1, levels + 1, dtype=float)
+        runs = np.asarray(
+            tuning.policy.strategy.runs_per_level(
+                tuning.size_ratio, indices, float(levels)
+            ),
+            dtype=float,
+        )
+        return levels, rates, runs
+
     # ------------------------------------------------------------------
     # Individual query costs
     # ------------------------------------------------------------------
     def empty_read_cost(self, tuning: LSMTuning) -> float:
         """Expected I/Os of a zero-result point lookup, ``Z0(Φ)`` (Eq. 12).
 
-        Every run in the tree may trigger a false positive; under leveling
-        there is one run per level, under tiering up to ``T - 1`` runs per
-        level with identical false-positive rates.
+        Every run in the tree may trigger a false positive, so the cost is
+        the sum over levels of (runs per level) × (false-positive rate) —
+        one run per level under leveling, ``T - 1`` under tiering, and the
+        hybrid split under lazy leveling.
         """
-        rates = self.false_positive_rates(tuning)
-        total = float(np.sum(rates))
-        if tuning.policy is Policy.TIERING:
-            total *= tuning.size_ratio - 1.0
-        return total
+        _, rates, runs = self._level_structure(tuning)
+        return float(np.sum(runs * rates))
 
     def non_empty_read_cost(self, tuning: LSMTuning) -> float:
         """Expected I/Os of a successful point lookup, ``Z1(Φ)`` (Eq. 14).
 
         The lookup finds its key at level ``i`` with probability proportional
         to the level's capacity; it pays one guaranteed I/O there plus the
-        expected false-positive I/Os of the levels above it (and, for
-        tiering, of the runs probed within level ``i`` before the match).
+        expected false-positive I/Os of every run above it and, on average,
+        of half the other runs within level ``i`` probed before the match.
         """
         size_ratio = tuning.size_ratio
-        levels = self.num_levels(tuning)
-        rates = self.false_positive_rates(tuning)
+        levels, rates, runs = self._level_structure(tuning)
         buffer_entries = self.system.buffer_entries(tuning.bits_per_entry)
 
         level_capacity = np.array(
@@ -114,21 +137,10 @@ class LSMCostModel:
             ],
             dtype=float,
         )
-        full_tree = float(np.sum(level_capacity))
-        residence_probability = level_capacity / full_tree
-        preceding_fp = np.concatenate(([0.0], np.cumsum(rates)[:-1]))
-
-        if tuning.policy is Policy.LEVELING:
-            per_level_cost = 1.0 + preceding_fp
-        else:
-            # Runs above the match each cost a false-positive probe; within
-            # the matching level the entry is found, on average, in the middle
-            # run, incurring (T-2)/2 extra false-positive probes.
-            per_level_cost = (
-                1.0
-                + (size_ratio - 1.0) * preceding_fp
-                + (size_ratio - 2.0) / 2.0 * rates
-            )
+        residence_probability = level_capacity / float(np.sum(level_capacity))
+        level_fp = runs * rates
+        preceding_fp = np.cumsum(level_fp) - level_fp
+        per_level_cost = 1.0 + preceding_fp + (runs - 1.0) / 2.0 * rates
         return float(np.sum(residence_probability * per_level_cost))
 
     def range_read_cost(self, tuning: LSMTuning) -> float:
@@ -137,34 +149,32 @@ class LSMCostModel:
         One seek per qualifying run plus a sequential scan whose length is
         governed by the range selectivity ``S_RQ``.
         """
-        levels = self.num_levels(tuning)
+        _, _, runs = self._level_structure(tuning)
         scan_pages = (
             self.system.range_selectivity
             * self.system.num_entries
             / self.system.entries_per_page
         )
-        if tuning.policy is Policy.LEVELING:
-            seeks = float(levels)
-        else:
-            seeks = float(levels) * (tuning.size_ratio - 1.0)
-        return scan_pages + seeks
+        return scan_pages + float(np.sum(runs))
 
     def write_cost(self, tuning: LSMTuning) -> float:
         """Amortised I/Os of one write, ``W(Φ)`` (Eq. 16).
 
-        Every entry is eventually merged through all ``L(T)`` levels; under
-        leveling it takes part in roughly ``(T-1)/2`` merges per level, under
-        tiering ``(T-1)/T``.  Costs are expressed per page (``/B``) and writes
+        Every entry is eventually merged through all ``L(T)`` levels, taking
+        part in the policy's per-level merge amortisation factor worth of
+        rewrites at each.  Costs are expressed per page (``/B``) and writes
         are weighted by the device's read/write asymmetry.
         """
         levels = self.num_levels(tuning)
-        entries_per_page = self.system.entries_per_page
+        indices = np.arange(1, levels + 1, dtype=float)
+        merges = np.asarray(
+            tuning.policy.strategy.merge_factor(
+                tuning.size_ratio, indices, float(levels)
+            ),
+            dtype=float,
+        )
         asymmetry = 1.0 + self.system.read_write_asymmetry
-        if tuning.policy is Policy.LEVELING:
-            merges = (tuning.size_ratio - 1.0) / 2.0
-        else:
-            merges = (tuning.size_ratio - 1.0) / tuning.size_ratio
-        return levels / entries_per_page * merges * asymmetry
+        return float(np.sum(merges)) / self.system.entries_per_page * asymmetry
 
     # ------------------------------------------------------------------
     # Aggregate costs
@@ -182,6 +192,99 @@ class LSMCostModel:
         """The cost vector ``c(Φ) = (Z0, Z1, Q, W)``."""
         return self.cost_breakdown(tuning).as_array()
 
+    def cost_matrix(
+        self,
+        size_ratios: Sequence[float] | np.ndarray,
+        bits_per_entry: Sequence[float] | np.ndarray,
+        policy: Policy | str,
+    ) -> np.ndarray:
+        """Cost vectors of a whole ``(T, h)`` candidate grid in one pass.
+
+        Evaluates ``c(Φ)`` for every combination of the given size ratios and
+        Bloom-filter allocations under one policy, using a single broadcasted
+        NumPy computation over a ``(T, h, level)`` tensor instead of a Python
+        loop of scalar :meth:`cost_vector` calls.  This is the tuners' hot
+        path: the candidate sweep of :class:`~repro.core.base.BaseTuner` and
+        the exhaustive :class:`~repro.core.grid.GridTuner` both run on it.
+
+        Parameters
+        ----------
+        size_ratios:
+            1-D array of candidate size ratios (each ``>= 2``).
+        bits_per_entry:
+            1-D array of candidate Bloom-filter budgets (each ``>= 0`` and
+            small enough to leave room for a write buffer).
+        policy:
+            The compaction policy of every candidate.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(len(size_ratios), len(bits_per_entry), 4)``
+            whose ``[i, j]`` slice is ``(Z0, Z1, Q, W)`` of the tuning
+            ``(size_ratios[i], bits_per_entry[j], policy)``.  Matches the
+            scalar :meth:`cost_vector` to ~1e-12 relative error.
+        """
+        system = self.system
+        strategy = Policy.from_value(policy).strategy
+        ratios = np.asarray(size_ratios, dtype=float).reshape(-1, 1, 1)
+        bits = np.asarray(bits_per_entry, dtype=float).reshape(1, -1, 1)
+        if ratios.size == 0 or bits.size == 0:
+            raise ValueError("size_ratios and bits_per_entry must be non-empty")
+        if np.any(ratios < 2.0):
+            raise ValueError("every size ratio must be at least 2")
+        if np.any(bits < 0.0):
+            raise ValueError("bits_per_entry must be non-negative")
+
+        buffer_bits = system.total_memory_bits - bits * system.num_entries
+        if np.any(buffer_bits <= 0):
+            raise ValueError("bits_per_entry exceeds the total memory budget")
+        buffer_entries = buffer_bits / system.entry_size_bits
+
+        # L(T, h) = ceil(log_T(N·E / m_buf + 1)), clipped to at least 1.
+        size_bits = float(system.num_entries) * system.entry_size_bits
+        log_ratio = np.log(size_bits / buffer_bits + 1.0)
+        levels = np.maximum(1.0, np.ceil(log_ratio / np.log(ratios)))
+
+        max_levels = int(levels.max())
+        index = np.arange(1, max_levels + 1, dtype=float).reshape(1, 1, -1)
+        mask = index <= levels
+
+        rates = monkey_false_positive_rates_batch(ratios, bits, levels, index)
+        runs = np.where(
+            mask, strategy.runs_per_level(ratios, index, levels), 0.0
+        )
+
+        # Z0: every run may cost one false-positive probe.
+        level_fp = np.where(mask, runs * rates, 0.0)
+        empty_read = np.sum(level_fp, axis=-1)
+
+        # Z1: guaranteed hit at the residence level plus the false-positive
+        # probes of every run above it and half the runs beside it.
+        capacity = np.where(
+            mask, (ratios - 1.0) * ratios ** (index - 1.0) * buffer_entries, 0.0
+        )
+        residence = capacity / np.sum(capacity, axis=-1, keepdims=True)
+        preceding_fp = np.cumsum(level_fp, axis=-1) - level_fp
+        per_level_cost = 1.0 + preceding_fp + (runs - 1.0) / 2.0 * rates
+        non_empty_read = np.sum(residence * per_level_cost, axis=-1)
+
+        # Q: one seek per run plus the selectivity-governed sequential scan.
+        scan_pages = (
+            system.range_selectivity * system.num_entries / system.entries_per_page
+        )
+        range_read = scan_pages + np.sum(runs, axis=-1)
+
+        # W: per-level merge amortisation, per page, weighted by asymmetry.
+        merges = np.where(mask, strategy.merge_factor(ratios, index, levels), 0.0)
+        write = (
+            np.sum(merges, axis=-1)
+            / system.entries_per_page
+            * (1.0 + system.read_write_asymmetry)
+        )
+
+        return np.stack([empty_read, non_empty_read, range_read, write], axis=-1)
+
     def workload_cost(self, workload, tuning: LSMTuning) -> float:
         """Expected cost ``C(w, Φ) = w · c(Φ)`` of one query from ``workload``.
 
@@ -191,6 +294,17 @@ class LSMCostModel:
         """
         weights = _workload_array(workload)
         return float(np.dot(weights, self.cost_vector(tuning)))
+
+    def workload_cost_matrix(
+        self,
+        workload,
+        size_ratios: Sequence[float] | np.ndarray,
+        bits_per_entry: Sequence[float] | np.ndarray,
+        policy: Policy | str,
+    ) -> np.ndarray:
+        """``C(w, Φ)`` over a whole ``(T, h)`` grid in one broadcasted pass."""
+        weights = _workload_array(workload)
+        return self.cost_matrix(size_ratios, bits_per_entry, policy) @ weights
 
     def throughput(self, workload, tuning: LSMTuning) -> float:
         """Throughput proxy ``1 / C(w, Φ)`` used throughout the evaluation."""

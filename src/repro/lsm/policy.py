@@ -1,6 +1,9 @@
-"""Compaction policies supported by the LSM-tree model and simulator.
+"""Compaction policies: first-class strategy objects shared by the cost
+model and the storage engine.
 
-The paper (and this reproduction) considers the two classical merge policies:
+The paper's design space contains the two classical merge policies; this
+reproduction additionally supports the *lazy leveling* hybrid of Dostoevsky
+(Dayan & Idreos, SIGMOD'18):
 
 * **Leveling** — each level holds at most one sorted run; a run arriving from
   the level above is immediately sort-merged into the resident run.  Reads are
@@ -8,11 +11,30 @@ The paper (and this reproduction) considers the two classical merge policies:
 * **Tiering** — each level accumulates up to ``T - 1`` runs before compacting
   them together into the next level.  Writes are cheap, reads have to examine
   several runs per level.
+* **Lazy leveling** — tiering on every level except the largest, which is
+  kept as a single leveled run.  Point reads stay close to leveling (the
+  largest level dominates the residence probability) while writes avoid most
+  of leveling's repeated merges.
+
+Two views of a policy coexist:
+
+* :class:`Policy` — a lightweight enum used as the *identity* of a policy in
+  tunings, dictionaries and CLI flags.
+* :class:`CompactionPolicy` — the strategy object carrying the actual
+  per-policy logic.  It supplies the analytical quantities the cost model
+  needs (runs per level, merge amortisation factors, both NumPy
+  broadcastable) and the runtime hooks the simulated LSM tree needs
+  (merge-on-arrival levels, compaction trigger, bulk-load fill fractions).
+  ``Policy.strategy`` resolves the enum to its singleton strategy, so no
+  other module ever branches on the enum value.
 """
 
 from __future__ import annotations
 
+import abc
 import enum
+
+import numpy as np
 
 
 class Policy(enum.Enum):
@@ -20,17 +42,23 @@ class Policy(enum.Enum):
 
     LEVELING = "leveling"
     TIERING = "tiering"
+    LAZY_LEVELING = "lazy-leveling"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+    @property
+    def strategy(self) -> "CompactionPolicy":
+        """The singleton :class:`CompactionPolicy` implementing this policy."""
+        return _STRATEGIES[self]
 
     @classmethod
     def from_value(cls, value: "Policy | str") -> "Policy":
         """Coerce a user-supplied value (enum member or string) to a policy.
 
         Accepts the enum member itself, its ``value`` string, or common
-        abbreviations (``"level"``/``"tier"``, ``"L"``/``"T"``) so that
-        configuration files and CLI flags stay pleasant to write.
+        abbreviations (``"level"``/``"tier"``/``"lazy"``, ``"L"``/``"T"``) so
+        that configuration files and CLI flags stay pleasant to write.
         """
         if isinstance(value, cls):
             return value
@@ -47,6 +75,11 @@ class Policy(enum.Enum):
             "tier": cls.TIERING,
             "tiered": cls.TIERING,
             "t": cls.TIERING,
+            "lazy-leveling": cls.LAZY_LEVELING,
+            "lazy_leveling": cls.LAZY_LEVELING,
+            "lazyleveling": cls.LAZY_LEVELING,
+            "lazy": cls.LAZY_LEVELING,
+            "ll": cls.LAZY_LEVELING,
         }
         try:
             return aliases[norm]
@@ -54,5 +87,164 @@ class Policy(enum.Enum):
             raise ValueError(f"unknown compaction policy {value!r}") from exc
 
 
-#: All policies, in a stable order (useful for exhaustive searches).
-ALL_POLICIES: tuple[Policy, ...] = (Policy.LEVELING, Policy.TIERING)
+class CompactionPolicy(abc.ABC):
+    """Strategy object carrying all per-policy logic.
+
+    The analytical methods (:meth:`runs_per_level`, :meth:`merge_factor`)
+    accept scalars *or* NumPy arrays and broadcast, so the same definition
+    powers both the scalar cost equations and the vectorised
+    :meth:`~repro.lsm.cost_model.LSMCostModel.cost_matrix` grid pass.  The
+    runtime methods steer the simulated LSM tree in
+    :mod:`repro.storage.lsm_tree`.
+    """
+
+    #: The enum identity of this strategy; set by subclasses.
+    policy: Policy
+
+    @property
+    def name(self) -> str:
+        """Canonical string name of the policy."""
+        return self.policy.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+    # ------------------------------------------------------------------
+    # Analytical quantities (NumPy broadcastable)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def runs_per_level(self, size_ratio, level, num_levels):
+        """Expected number of sorted runs resident at ``level``.
+
+        All arguments broadcast: ``size_ratio`` is ``T`` (scalar or array),
+        ``level`` the 1-based level index and ``num_levels`` the tree depth
+        ``L``.  This single quantity determines the false-positive probes of
+        point lookups and the seeks of range queries.
+        """
+
+    @abc.abstractmethod
+    def merge_factor(self, size_ratio, level, num_levels):
+        """Expected number of merges an entry takes part in at ``level``.
+
+        Broadcastable like :meth:`runs_per_level`.  Under leveling an entry
+        is rewritten about ``(T-1)/2`` times per level, under tiering
+        ``(T-1)/T`` times (it is merged once when the level fills up).
+        """
+
+    # ------------------------------------------------------------------
+    # Runtime hooks for the simulated LSM tree
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def merges_on_arrival(self, level: int, last_level: int) -> bool:
+        """Whether ``level`` keeps a single run (leveled behaviour).
+
+        When ``True`` an arriving run is sort-merged into the resident run
+        immediately; when ``False`` runs stack up until the compaction
+        trigger fires.  ``last_level`` is the tree's current deepest level.
+        """
+
+    def max_resident_runs(self, size_ratio: int) -> int:
+        """Runs a stacking level may hold before compaction triggers."""
+        return max(1, int(size_ratio) - 1)
+
+    def bulk_load_fill_fraction(
+        self, level: int, last_level: int, headroom: float
+    ) -> float:
+        """Fraction of a level's capacity that bulk loading may fill.
+
+        Levels that merge on arrival trigger compaction on *size*, so they
+        are loaded with ``headroom`` (< 1) to keep the first trickle of
+        post-load writes from rewriting the level; stacking levels trigger on
+        the *run count* and can be loaded full.
+        """
+        return headroom if self.merges_on_arrival(level, last_level) else 1.0
+
+
+class LevelingPolicy(CompactionPolicy):
+    """Classical leveling: one sorted run per level."""
+
+    policy = Policy.LEVELING
+
+    def runs_per_level(self, size_ratio, level, num_levels):
+        shape = np.broadcast_shapes(
+            np.shape(size_ratio), np.shape(level), np.shape(num_levels)
+        )
+        return np.ones(shape, dtype=float)
+
+    def merge_factor(self, size_ratio, level, num_levels):
+        size_ratio, _, _ = np.broadcast_arrays(size_ratio, level, num_levels)
+        return (size_ratio - 1.0) / 2.0
+
+    def merges_on_arrival(self, level: int, last_level: int) -> bool:
+        return True
+
+
+class TieringPolicy(CompactionPolicy):
+    """Classical tiering: up to ``T - 1`` overlapping runs per level."""
+
+    policy = Policy.TIERING
+
+    def runs_per_level(self, size_ratio, level, num_levels):
+        size_ratio, _, _ = np.broadcast_arrays(size_ratio, level, num_levels)
+        return size_ratio - 1.0
+
+    def merge_factor(self, size_ratio, level, num_levels):
+        size_ratio, _, _ = np.broadcast_arrays(size_ratio, level, num_levels)
+        return (size_ratio - 1.0) / size_ratio
+
+    def merges_on_arrival(self, level: int, last_level: int) -> bool:
+        return False
+
+
+class LazyLevelingPolicy(CompactionPolicy):
+    """Lazy leveling: tiering on upper levels, leveling on the largest.
+
+    With a single disk level it degenerates to plain leveling, which the
+    test-suite verifies against :class:`LevelingPolicy` exactly.
+    """
+
+    policy = Policy.LAZY_LEVELING
+
+    def runs_per_level(self, size_ratio, level, num_levels):
+        size_ratio, level, num_levels = np.broadcast_arrays(
+            size_ratio, level, num_levels
+        )
+        return np.where(level >= num_levels, 1.0, size_ratio - 1.0)
+
+    def merge_factor(self, size_ratio, level, num_levels):
+        size_ratio, level, num_levels = np.broadcast_arrays(
+            size_ratio, level, num_levels
+        )
+        return np.where(
+            level >= num_levels,
+            (size_ratio - 1.0) / 2.0,
+            (size_ratio - 1.0) / size_ratio,
+        )
+
+    def merges_on_arrival(self, level: int, last_level: int) -> bool:
+        return level >= last_level
+
+
+#: Singleton strategy instances, keyed by their enum identity.
+_STRATEGIES: dict[Policy, CompactionPolicy] = {
+    Policy.LEVELING: LevelingPolicy(),
+    Policy.TIERING: TieringPolicy(),
+    Policy.LAZY_LEVELING: LazyLevelingPolicy(),
+}
+
+
+def get_policy(value: Policy | str) -> CompactionPolicy:
+    """Resolve an enum member or string to its :class:`CompactionPolicy`."""
+    return Policy.from_value(value).strategy
+
+
+#: The paper's classical design space, in a stable order.  This is the
+#: default search space of the tuners, keeping the reproduction faithful.
+CLASSIC_POLICIES: tuple[Policy, ...] = (Policy.LEVELING, Policy.TIERING)
+
+#: Every supported policy, in a stable order (useful for exhaustive searches).
+ALL_POLICIES: tuple[Policy, ...] = (
+    Policy.LEVELING,
+    Policy.TIERING,
+    Policy.LAZY_LEVELING,
+)

@@ -10,7 +10,7 @@ Table 1 in the paper.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
 #: Number of bits in one byte; used for the many bit/byte conversions below.

@@ -28,7 +28,7 @@ class LSMTuning:
     bits_per_entry:
         Bloom-filter budget ``h = m_filt / N`` in bits per entry.
     policy:
-        Compaction policy (leveling or tiering).
+        Compaction policy (leveling, tiering or lazy leveling).
     """
 
     size_ratio: float

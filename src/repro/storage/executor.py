@@ -9,7 +9,7 @@ writes of the session) and a simulated per-query latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -5,7 +5,10 @@ evaluation (§8).  It implements the structure the analytical model assumes:
 
 * an in-memory write buffer (memtable) holding ``m_buf / E`` entries,
 * exponentially growing disk levels with size ratio ``T``,
-* classic *leveling* and *tiering* compaction,
+* classic *leveling* and *tiering* compaction plus the *lazy leveling*
+  hybrid, all driven by the shared
+  :class:`~repro.lsm.policy.CompactionPolicy` strategy objects (the same
+  definitions the analytical cost model uses),
 * one Bloom filter per run with Monkey-style per-level allocation,
 * fence pointers (one per page) so point lookups read at most one page per
   probed run,
@@ -24,7 +27,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..lsm.bloom import monkey_bits_per_level
-from ..lsm.policy import Policy
 from ..lsm.system import SystemConfig
 from ..lsm.tuning import LSMTuning
 from .disk import VirtualDisk
@@ -81,6 +83,7 @@ class LSMTree:
         self.system = system
         self.tuning = tuning.clamped(system).rounded()
         self.policy = self.tuning.policy
+        self.strategy = self.policy.strategy
         self.size_ratio = int(self.tuning.size_ratio)
         self.disk = disk if disk is not None else VirtualDisk()
         self._seed = seed
@@ -141,6 +144,15 @@ class LSMTree:
         while len(self.levels) < level:
             self.levels.append([])
 
+    def _merges_on_arrival(self, level: int) -> bool:
+        """Whether ``level`` currently keeps a single run (leveled behaviour).
+
+        Delegates to the compaction-policy strategy with the tree's current
+        deepest level, so lazy leveling's single-run largest level tracks the
+        tree as it grows.
+        """
+        return self.strategy.merges_on_arrival(level, max(len(self.levels), 1))
+
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
@@ -170,16 +182,16 @@ class LSMTree:
         """Add ``run`` to ``level`` and restore the tree's size invariants."""
         self._ensure_level(level)
         runs = self.levels[level - 1]
-        if self.policy is Policy.LEVELING:
+        if self._merges_on_arrival(level):
             if runs:
                 merged = self._merge_runs([run] + runs, level)
                 self.levels[level - 1] = [merged]
             else:
                 self.levels[level - 1] = [run]
-            self._maybe_spill_leveling(level)
+            self._maybe_spill_merging(level)
         else:
             runs.insert(0, run)
-            self._maybe_compact_tiering(level)
+            self._maybe_compact_stacked(level)
 
     def _merge_runs(self, runs: list[SortedRun], target_level: int) -> SortedRun:
         """Sort-merge runs, charging compaction I/O to the virtual disk."""
@@ -199,8 +211,8 @@ class LSMTree:
         self.disk.write_pages(merged.num_pages, compaction=True)
         return merged
 
-    def _maybe_spill_leveling(self, level: int) -> None:
-        """Cascade over-full leveled runs into deeper levels."""
+    def _maybe_spill_merging(self, level: int) -> None:
+        """Cascade over-full single-run (leveled) levels into deeper levels."""
         current = level
         while True:
             self._ensure_level(current)
@@ -212,31 +224,56 @@ class LSMTree:
                 return
             # Move the over-full run one level down, merging if necessary.
             self.levels[current - 1] = []
-            self._ensure_level(current + 1)
-            below = self.levels[current]
-            if below:
-                merged = self._merge_runs([run] + below, current + 1)
+            target = current + 1
+            self._ensure_level(target)
+            below = self.levels[target - 1]
+            if self._merges_on_arrival(target):
+                if below:
+                    merged = self._merge_runs([run] + below, target)
+                else:
+                    # Trivial move: nothing to merge with, so the run is
+                    # adopted by the level below without any I/O (RocksDB
+                    # does the same when the target level is empty).
+                    merged = run
+                self.levels[target - 1] = [merged]
+                current = target
             else:
-                # Trivial move: nothing to merge with, so the run is adopted
-                # by the level below without any I/O (RocksDB does the same
-                # when the target level is empty).
-                merged = run
-            self.levels[current] = [merged]
-            current += 1
+                # Spilling into a run-stacking level (possible when the tree
+                # outgrows a hybrid policy's largest level): stack the run
+                # and let the count-based trigger take over.
+                self.levels[target - 1].insert(0, run)
+                self._maybe_compact_stacked(target)
+                return
 
-    def _maybe_compact_tiering(self, level: int) -> None:
-        """Merge a tiered level once it has accumulated ``T`` runs."""
+    def _maybe_compact_stacked(self, level: int) -> None:
+        """Merge a run-stacking level once its run count exceeds the trigger.
+
+        Classic tiering merges the accumulated runs into a new run one level
+        down.  When the destination is a single-run level (lazy leveling's
+        largest level), the resident run joins the same merge so the compact
+        happens in one pass, exactly as the analytical model amortises it.
+        """
+        trigger = self.strategy.max_resident_runs(self.size_ratio)
         current = level
         while True:
             self._ensure_level(current)
             runs = self.levels[current - 1]
-            if len(runs) < self.size_ratio:
+            if self._merges_on_arrival(current) or len(runs) <= trigger:
                 return
-            merged = self._merge_runs(list(runs), current + 1)
+            target = current + 1
+            self._ensure_level(target)
+            sources = list(runs)
+            if self._merges_on_arrival(target):
+                sources += self.levels[target - 1]
+                merged = self._merge_runs(sources, target)
+                self.levels[current - 1] = []
+                self.levels[target - 1] = [merged]
+                self._maybe_spill_merging(target)
+                return
+            merged = self._merge_runs(sources, target)
             self.levels[current - 1] = []
-            self._ensure_level(current + 1)
-            self.levels[current].insert(0, merged)
-            current += 1
+            self.levels[target - 1].insert(0, merged)
+            current = target
 
     # ------------------------------------------------------------------
     # Reads
@@ -293,62 +330,75 @@ class LSMTree:
         bulk-loaded with the same data before measurements start, and that
         loading cost is not part of any reported metric.  Keys are placed
         bottom-up so the tree starts in a steady-state shape (deep levels
-        nearly full, shallower levels holding the remainder).  Each level is
-        filled only to :data:`BULK_LOAD_FILL_FRACTION` of its capacity so the
-        first trickle of writes does not immediately trigger a full rewrite
-        of the largest level.
+        nearly full, shallower levels holding the remainder).  Single-run
+        levels are filled only to :data:`BULK_LOAD_FILL_FRACTION` of their
+        capacity so the first trickle of writes does not immediately trigger
+        a full rewrite of the largest level.
         """
         keys = np.unique(np.asarray(keys, dtype=np.int64))
         remaining = keys
         placements: list[tuple[int, np.ndarray]] = []
-        # Leveled compaction triggers on level *size*, so bulk loading leaves
-        # headroom below each level's capacity; tiered compaction triggers on
-        # the *run count*, so tiered levels can be loaded to full capacity.
-        fill_fraction = (
-            self.BULK_LOAD_FILL_FRACTION if self.policy is Policy.LEVELING else 1.0
-        )
-        # Determine how many levels a tree of this size needs.
+        # Levels that merge on arrival trigger compaction on *size*, so bulk
+        # loading leaves them headroom below capacity; run-stacking levels
+        # trigger on the *run count* and can be loaded to full capacity.  The
+        # per-level split is the policy strategy's call (lazy leveling mixes
+        # both kinds in one tree).
         total = keys.size
-        level = 1
-        cumulative = 0
-        while cumulative < total:
-            cumulative += int(fill_fraction * self.level_capacity_entries(level))
-            level += 1
-        deepest = max(1, level - 1)
+        deepest = 1
+        while self._bulk_load_capacity(deepest) < total and deepest < 64:
+            deepest += 1
         # Fill from the deepest level upwards so lower levels are the fullest.
         for lvl in range(deepest, 0, -1):
             if remaining.size == 0:
                 break
-            capacity = int(fill_fraction * self.level_capacity_entries(lvl))
+            capacity = self._bulk_load_level_capacity(lvl, deepest)
             take = min(capacity, remaining.size)
             placements.append((lvl, remaining[remaining.size - take :]))
             remaining = remaining[: remaining.size - take]
+        self._ensure_level(deepest)
         for lvl, chunk in placements:
-            self._ensure_level(lvl)
-            for piece in self._bulk_load_runs(chunk, lvl):
+            for piece in self._bulk_load_runs(chunk, lvl, deepest):
                 run = self._new_run(piece, np.zeros(piece.size, dtype=bool), lvl)
                 self.levels[lvl - 1].append(run)
         # Anything that still did not fit goes to the memtable (rare).
         for key in remaining:
             self.memtable.put(int(key))
 
-    def _bulk_load_runs(self, chunk: np.ndarray, level: int) -> list[np.ndarray]:
+    def _bulk_load_level_capacity(self, level: int, deepest: int) -> int:
+        """Entries bulk loading may place at ``level`` in a ``deepest``-level tree."""
+        fraction = self.strategy.bulk_load_fill_fraction(
+            level, deepest, self.BULK_LOAD_FILL_FRACTION
+        )
+        return int(fraction * self.level_capacity_entries(level))
+
+    def _bulk_load_capacity(self, deepest: int) -> int:
+        """Total entries a bulk-loaded tree of ``deepest`` levels can hold."""
+        return sum(
+            self._bulk_load_level_capacity(lvl, deepest)
+            for lvl in range(1, deepest + 1)
+        )
+
+    def _bulk_load_runs(
+        self, chunk: np.ndarray, level: int, deepest: int
+    ) -> list[np.ndarray]:
         """Split a bulk-loaded level into runs matching the policy's steady state.
 
-        Leveling keeps a single run per level.  Tiering accumulates up to
-        ``T - 1`` runs per level, each the size of a compaction arriving from
-        the level above, so a bulk-loaded tiered tree must expose the same
-        number of runs a naturally filled one would — otherwise measured read
-        costs would be unrealistically low.
+        Levels that merge on arrival keep a single run.  Run-stacking levels
+        accumulate up to ``T - 1`` runs, each the size of a compaction
+        arriving from the level above, so a bulk-loaded tree must expose the
+        same number of runs a naturally filled one would — otherwise measured
+        read costs would be unrealistically low.
         """
-        if self.policy is Policy.LEVELING or chunk.size == 0:
+        if chunk.size == 0 or self.strategy.merges_on_arrival(level, deepest):
             return [chunk]
         natural_run_entries = max(
             self.buffer_entries,
             self.level_capacity_entries(level) // max(self.size_ratio - 1, 1),
         )
         num_runs = int(np.clip(
-            np.ceil(chunk.size / natural_run_entries), 1, self.size_ratio - 1
+            np.ceil(chunk.size / natural_run_entries),
+            1,
+            self.strategy.max_resident_runs(self.size_ratio),
         ))
         # Interleave keys across runs so every run spans the whole key domain,
         # as overlapping tiered runs do in practice.

@@ -16,7 +16,7 @@ This module reproduces that construction so the simulator experiments
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

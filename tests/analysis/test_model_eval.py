@@ -171,3 +171,48 @@ class TestTableAndWinRate:
         )
         assert result["win_rate"] > 0.5
         assert result["comparisons"] == 2 * len(small_benchmark)
+
+
+class TestCostLandscape:
+    def test_landscape_shape_and_positivity(self):
+        from repro.analysis import cost_landscape
+        from repro.lsm import Policy
+
+        workload = expected_workload(0).workload
+        surface = cost_landscape(workload, Policy.LAZY_LEVELING, bits_grid_points=7)
+        assert surface["cost"].shape == (
+            surface["size_ratios"].size,
+            surface["bits_per_entry"].size,
+        )
+        assert np.all(surface["cost"] > 0)
+
+    def test_landscape_minimum_matches_grid_tuner(self):
+        from repro.analysis import cost_landscape
+        from repro.core import GridTuner
+        from repro.lsm import Policy
+
+        workload = expected_workload(11).workload
+        surface = cost_landscape(workload, Policy.LEVELING, bits_grid_points=33)
+        grid = GridTuner(bits_grid_points=33, policies=(Policy.LEVELING,)).tune(workload)
+        assert float(surface["cost"].min()) == pytest.approx(grid.objective, rel=1e-9)
+
+
+class TestPolicyTable:
+    def test_rows_cover_every_policy(self, catalog):
+        from repro.analysis import policy_table
+
+        rows = policy_table(catalog, expected_indices=(4, 11))
+        assert len(rows) == 2
+        for row in rows:
+            for key in (
+                "leveling_cost",
+                "tiering_cost",
+                "lazy-leveling_cost",
+                "best_policy",
+            ):
+                assert key in row
+            costs = {
+                p: row[f"{p}_cost"]
+                for p in ("leveling", "tiering", "lazy-leveling")
+            }
+            assert row["best_policy"] == min(costs, key=costs.get)

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core import GridTuner, NominalTuner
-from repro.lsm import LSMCostModel, Policy, SystemConfig
-from repro.workloads import Workload, expected_workload
+from repro.lsm import LSMCostModel, Policy
+from repro.workloads import expected_workload
 
 
 class TestNominalTunerBasics:

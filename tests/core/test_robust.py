@@ -1,9 +1,8 @@
 """Tests for the robust tuner (the paper's contribution)."""
 
-import numpy as np
 import pytest
 
-from repro.core import GridTuner, NominalTuner, RobustTuner, UncertaintyRegion
+from repro.core import GridTuner, RobustTuner, UncertaintyRegion
 from repro.core.robust import tune_nominal, tune_robust
 from repro.lsm import LSMCostModel
 from repro.workloads import expected_workload

@@ -1,0 +1,130 @@
+"""Tests for the vectorised candidate sweep and the widened policy space.
+
+The vectorised sweep must be a pure optimisation: same selected tunings as
+the scalar reference path, just fewer scalar objective evaluations.  These
+tests pin that equivalence on representative workloads and exercise lazy
+leveling through the full tuner stack.
+"""
+
+import pytest
+
+from repro.core import GridTuner, NominalTuner, RobustTuner
+from repro.lsm import ALL_POLICIES, LSMCostModel, Policy
+from repro.workloads import expected_workload
+
+
+def _tunings_match(first, second, tolerance: float = 0.05) -> bool:
+    return (
+        first.policy is second.policy
+        and first.size_ratio == pytest.approx(second.size_ratio, abs=tolerance)
+        and first.bits_per_entry == pytest.approx(second.bits_per_entry, abs=tolerance)
+    )
+
+
+class TestVectorizedScalarEquivalence:
+    @pytest.mark.parametrize("index", [0, 4, 5, 11])
+    def test_nominal_selections_agree(self, system, index):
+        workload = expected_workload(index).workload
+        vectorized = NominalTuner(
+            system=system, starts_per_policy=2, seed=1, vectorized=True
+        ).tune(workload)
+        scalar = NominalTuner(
+            system=system, starts_per_policy=2, seed=1, vectorized=False
+        ).tune(workload)
+        assert _tunings_match(vectorized.tuning, scalar.tuning)
+        assert vectorized.objective == pytest.approx(scalar.objective, rel=1e-6)
+
+    @pytest.mark.parametrize("index", [7, 11])
+    def test_robust_selections_agree(self, system, index):
+        workload = expected_workload(index).workload
+        vectorized = RobustTuner(
+            rho=1.0, system=system, starts_per_policy=2, seed=1, vectorized=True
+        ).tune(workload)
+        scalar = RobustTuner(
+            rho=1.0, system=system, starts_per_policy=2, seed=1, vectorized=False
+        ).tune(workload)
+        assert _tunings_match(vectorized.tuning, scalar.tuning)
+        assert vectorized.objective == pytest.approx(scalar.objective, rel=1e-5)
+
+    def test_per_policy_objectives_agree(self, system, w11):
+        vectorized = NominalTuner(system=system, vectorized=True).tune(w11)
+        scalar = NominalTuner(system=system, vectorized=False).tune(w11)
+        for policy, value in scalar.solver_info["per_policy_objective"].items():
+            assert vectorized.solver_info["per_policy_objective"][
+                policy
+            ] == pytest.approx(value, rel=1e-3)
+
+
+class TestLazyLevelingThroughTheTuners:
+    def test_restricted_lazy_tuner_returns_lazy_tuning(self, system, w11):
+        result = NominalTuner(
+            system=system, policies=(Policy.LAZY_LEVELING,), starts_per_policy=2
+        ).tune(w11)
+        assert result.tuning.policy is Policy.LAZY_LEVELING
+        model = LSMCostModel(system)
+        assert result.objective == pytest.approx(
+            model.workload_cost(w11, result.tuning), rel=1e-6
+        )
+
+    def test_all_policy_sweep_reports_three_objectives(self, system, w0):
+        result = NominalTuner(
+            system=system, policies=ALL_POLICIES, starts_per_policy=2
+        ).tune(w0)
+        per_policy = result.solver_info["per_policy_objective"]
+        assert set(per_policy) == {"leveling", "tiering", "lazy-leveling"}
+        assert result.tuning.policy.value == min(per_policy, key=per_policy.get)
+
+    def test_widening_the_policy_space_never_hurts(self, system, w7):
+        classic = NominalTuner(system=system, starts_per_policy=2).tune(w7)
+        widened = NominalTuner(
+            system=system, policies=ALL_POLICIES, starts_per_policy=2
+        ).tune(w7)
+        assert widened.objective <= classic.objective + 1e-9
+
+    def test_robust_lazy_tuner_solves(self, system, w7):
+        result = RobustTuner(
+            rho=1.0,
+            system=system,
+            policies=(Policy.LAZY_LEVELING,),
+            starts_per_policy=2,
+        ).tune(w7)
+        assert result.tuning.policy is Policy.LAZY_LEVELING
+        assert result.objective > 0
+
+    def test_lazy_beats_both_classics_when_filter_memory_is_scarce(self):
+        """Lazy leveling's raison d'être (Dostoevsky): under a tight memory
+        budget, point lookups need the single-run largest level while writes
+        need tiering's lazy upper levels — neither classical policy has both.
+        """
+        from repro.lsm import SystemConfig
+        from repro.lsm.system import MIB
+        from repro.workloads import Workload
+
+        scarce = SystemConfig(num_entries=10_000_000, total_memory_bytes=3 * MIB)
+        workload = Workload(z0=0.45, z1=0.05, q=0.0, w=0.5)
+        best = {}
+        for policy in ALL_POLICIES:
+            result = NominalTuner(
+                system=scarce, policies=(policy,), starts_per_policy=2
+            ).tune(workload)
+            best[policy] = result.objective
+        assert best[Policy.LAZY_LEVELING] <= min(best.values()) + 1e-9
+        assert best[Policy.LAZY_LEVELING] < 0.99 * best[Policy.LEVELING]
+        assert best[Policy.LAZY_LEVELING] < 0.99 * best[Policy.TIERING]
+
+
+class TestGridTunerVectorized:
+    def test_grid_matches_solver_with_lazy_policy(self, system, w11):
+        solver = NominalTuner(
+            system=system, policies=(Policy.LAZY_LEVELING,), starts_per_policy=2
+        ).tune(w11)
+        grid = GridTuner(
+            system=system, bits_grid_points=17, policies=(Policy.LAZY_LEVELING,)
+        ).tune(w11)
+        assert solver.objective <= grid.objective * 1.02
+
+    def test_grid_counts_every_cell(self, system, w0):
+        tuner = GridTuner(system=system, bits_grid_points=5)
+        result = tuner.tune(w0)
+        expected = len(tuner.policies) * tuner.size_ratios.size * 5
+        assert result.solver_info["evaluated_configurations"] == expected

@@ -155,3 +155,29 @@ class TestDualObjective:
         value = dual_objective(cost_vector, uniform, 0.5, 0.0, 10.0)
         assert value == pytest.approx(10.0)
         assert dual_objective(cost_vector, uniform, 0.5, 0.0, 0.0) == np.inf
+
+
+class TestZeroWeightComponents:
+    """Workloads with empty components (e.g. no range queries at all) must
+    not break the worst-case machinery — regression for a 0/0 underflow in
+    the exponential tilting."""
+
+    def test_worst_case_stays_on_the_support(self):
+        expected = Workload(z0=0.45, z1=0.05, q=0.0, w=0.5)
+        region = UncertaintyRegion(expected=expected, rho=0.5)
+        cost = np.array([1.0, 2.0, 50.0, 3.0])  # costliest component has no mass
+        worst = region.worst_case_workload(cost)
+        assert worst.q == 0.0
+        assert region.contains(worst, tolerance=1e-5)
+        assert np.isfinite(region.worst_case_cost(cost))
+        assert region.worst_case_cost(cost) >= float(
+            np.dot(expected.as_array(), cost)
+        ) - 1e-9
+
+    def test_robust_tuner_handles_zero_weight_workloads(self, system):
+        from repro.core import RobustTuner
+
+        expected = Workload(z0=0.5, z1=0.0, q=0.0, w=0.5)
+        result = RobustTuner(rho=0.5, system=system, starts_per_policy=2).tune(expected)
+        assert np.isfinite(result.objective)
+        assert result.objective > 0

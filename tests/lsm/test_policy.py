@@ -1,8 +1,18 @@
-"""Tests for the compaction-policy enumeration."""
+"""Tests for the compaction-policy enumeration and strategy objects."""
 
+import numpy as np
 import pytest
 
-from repro.lsm import ALL_POLICIES, Policy
+from repro.lsm import (
+    ALL_POLICIES,
+    CLASSIC_POLICIES,
+    CompactionPolicy,
+    LazyLevelingPolicy,
+    LevelingPolicy,
+    Policy,
+    TieringPolicy,
+    get_policy,
+)
 
 
 class TestPolicyFromValue:
@@ -12,6 +22,7 @@ class TestPolicyFromValue:
     def test_accepts_canonical_strings(self):
         assert Policy.from_value("leveling") is Policy.LEVELING
         assert Policy.from_value("tiering") is Policy.TIERING
+        assert Policy.from_value("lazy-leveling") is Policy.LAZY_LEVELING
 
     def test_accepts_aliases(self):
         assert Policy.from_value("level") is Policy.LEVELING
@@ -20,17 +31,21 @@ class TestPolicyFromValue:
         assert Policy.from_value("tier") is Policy.TIERING
         assert Policy.from_value("tiered") is Policy.TIERING
         assert Policy.from_value("T") is Policy.TIERING
+        assert Policy.from_value("lazy") is Policy.LAZY_LEVELING
+        assert Policy.from_value("lazy_leveling") is Policy.LAZY_LEVELING
+        assert Policy.from_value("ll") is Policy.LAZY_LEVELING
 
     def test_is_case_insensitive(self):
         assert Policy.from_value("LEVELING") is Policy.LEVELING
         assert Policy.from_value("Tiering") is Policy.TIERING
+        assert Policy.from_value("Lazy-Leveling") is Policy.LAZY_LEVELING
 
     def test_strips_whitespace(self):
         assert Policy.from_value("  leveling  ") is Policy.LEVELING
 
     def test_rejects_unknown_string(self):
         with pytest.raises(ValueError):
-            Policy.from_value("lazy-leveling")
+            Policy.from_value("fifo")
 
     def test_rejects_non_string(self):
         with pytest.raises(TypeError):
@@ -38,17 +53,115 @@ class TestPolicyFromValue:
 
 
 class TestPolicyCollection:
-    def test_all_policies_has_both(self):
-        assert set(ALL_POLICIES) == {Policy.LEVELING, Policy.TIERING}
+    def test_all_policies_has_every_member(self):
+        assert set(ALL_POLICIES) == set(Policy)
 
     def test_all_policies_order_is_stable(self):
         assert ALL_POLICIES[0] is Policy.LEVELING
         assert ALL_POLICIES[1] is Policy.TIERING
+        assert ALL_POLICIES[2] is Policy.LAZY_LEVELING
+
+    def test_classic_policies_is_the_paper_pair(self):
+        assert CLASSIC_POLICIES == (Policy.LEVELING, Policy.TIERING)
 
     def test_str_rendering(self):
         assert str(Policy.LEVELING) == "leveling"
         assert str(Policy.TIERING) == "tiering"
+        assert str(Policy.LAZY_LEVELING) == "lazy-leveling"
 
     def test_value_round_trip(self):
         for policy in ALL_POLICIES:
             assert Policy.from_value(policy.value) is policy
+
+
+class TestStrategyResolution:
+    def test_strategy_property_returns_singletons(self):
+        assert Policy.LEVELING.strategy is Policy.LEVELING.strategy
+        assert isinstance(Policy.LEVELING.strategy, LevelingPolicy)
+        assert isinstance(Policy.TIERING.strategy, TieringPolicy)
+        assert isinstance(Policy.LAZY_LEVELING.strategy, LazyLevelingPolicy)
+
+    def test_get_policy_accepts_strings(self):
+        assert get_policy("tiered") is Policy.TIERING.strategy
+
+    def test_every_strategy_knows_its_identity(self):
+        for policy in ALL_POLICIES:
+            strategy = policy.strategy
+            assert isinstance(strategy, CompactionPolicy)
+            assert strategy.policy is policy
+            assert strategy.name == policy.value
+
+
+class TestAnalyticalQuantities:
+    LEVELS = np.arange(1.0, 6.0)
+
+    def test_leveling_has_one_run_per_level(self):
+        runs = Policy.LEVELING.strategy.runs_per_level(7.0, self.LEVELS, 5.0)
+        assert np.all(runs == 1.0)
+
+    def test_tiering_has_t_minus_one_runs_per_level(self):
+        runs = Policy.TIERING.strategy.runs_per_level(7.0, self.LEVELS, 5.0)
+        assert np.all(runs == 6.0)
+
+    def test_lazy_leveling_mixes_both(self):
+        runs = Policy.LAZY_LEVELING.strategy.runs_per_level(7.0, self.LEVELS, 5.0)
+        assert np.all(runs[:-1] == 6.0)
+        assert runs[-1] == 1.0
+
+    def test_merge_factors_match_the_classical_formulas(self):
+        leveling = Policy.LEVELING.strategy.merge_factor(8.0, self.LEVELS, 5.0)
+        tiering = Policy.TIERING.strategy.merge_factor(8.0, self.LEVELS, 5.0)
+        assert np.allclose(leveling, 3.5)
+        assert np.allclose(tiering, 7.0 / 8.0)
+
+    def test_lazy_merge_factor_is_leveled_on_the_largest_level(self):
+        lazy = Policy.LAZY_LEVELING.strategy.merge_factor(8.0, self.LEVELS, 5.0)
+        assert np.allclose(lazy[:-1], 7.0 / 8.0)
+        assert lazy[-1] == pytest.approx(3.5)
+
+    def test_quantities_broadcast_over_size_ratio_grids(self):
+        ratios = np.array([2.0, 5.0, 10.0]).reshape(-1, 1)
+        for policy in ALL_POLICIES:
+            runs = policy.strategy.runs_per_level(ratios, self.LEVELS, 5.0)
+            merges = policy.strategy.merge_factor(ratios, self.LEVELS, 5.0)
+            assert runs.shape == (3, 5)
+            assert merges.shape == (3, 5)
+
+    def test_single_level_lazy_equals_leveling(self):
+        one = np.array([1.0])
+        lazy = Policy.LAZY_LEVELING.strategy
+        leveled = Policy.LEVELING.strategy
+        assert lazy.runs_per_level(9.0, one, 1.0) == leveled.runs_per_level(9.0, one, 1.0)
+        assert lazy.merge_factor(9.0, one, 1.0) == leveled.merge_factor(9.0, one, 1.0)
+
+
+class TestRuntimeHooks:
+    def test_leveling_always_merges_on_arrival(self):
+        strategy = Policy.LEVELING.strategy
+        assert strategy.merges_on_arrival(1, 4)
+        assert strategy.merges_on_arrival(4, 4)
+
+    def test_tiering_never_merges_on_arrival(self):
+        strategy = Policy.TIERING.strategy
+        assert not strategy.merges_on_arrival(1, 4)
+        assert not strategy.merges_on_arrival(4, 4)
+
+    def test_lazy_leveling_merges_only_on_the_last_level(self):
+        strategy = Policy.LAZY_LEVELING.strategy
+        assert not strategy.merges_on_arrival(1, 4)
+        assert not strategy.merges_on_arrival(3, 4)
+        assert strategy.merges_on_arrival(4, 4)
+        assert strategy.merges_on_arrival(5, 4)
+
+    def test_max_resident_runs_tracks_the_size_ratio(self):
+        for policy in ALL_POLICIES:
+            assert policy.strategy.max_resident_runs(5) == 4
+            assert policy.strategy.max_resident_runs(2) == 1
+
+    def test_fill_fractions_follow_the_merge_behaviour(self):
+        headroom = 0.85
+        assert Policy.LEVELING.strategy.bulk_load_fill_fraction(1, 4, headroom) == headroom
+        assert Policy.TIERING.strategy.bulk_load_fill_fraction(1, 4, headroom) == 1.0
+        lazy = Policy.LAZY_LEVELING.strategy
+        assert lazy.bulk_load_fill_fraction(2, 4, headroom) == 1.0
+        assert lazy.bulk_load_fill_fraction(4, 4, headroom) == headroom

@@ -113,3 +113,25 @@ class TestSequenceExecution:
         fast_measure = fast.run_sequence(tuning, sequence)
         slow_measure = slow.run_sequence(tuning, sequence)
         assert slow_measure.average_latency_us > fast_measure.average_latency_us
+
+
+class TestLazyLevelingExecution:
+    def test_run_sequence_with_lazy_leveling_tuning(
+        self, executor, session_generator, w7
+    ):
+        """End-to-end: a lazy-leveling tuning executes a full write-bearing
+        sequence and produces non-trivial compaction traffic."""
+        tuning = LSMTuning(
+            size_ratio=4.0, bits_per_entry=4.0, policy=Policy.LAZY_LEVELING
+        )
+        sequence = session_generator.paper_sequence(
+            w7, include_writes=True, workloads_per_session=1
+        )
+        measurement = executor.run_sequence(tuning, sequence)
+        assert measurement.tuning.policy is Policy.LAZY_LEVELING
+        assert len(measurement.sessions) == len(sequence)
+        compactions = sum(
+            s.compaction_reads + s.compaction_writes for s in measurement.sessions
+        )
+        assert compactions > 0
+        assert measurement.average_ios_per_query > 0.0

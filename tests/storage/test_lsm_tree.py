@@ -205,3 +205,77 @@ class TestBulkLoadAndStats:
         tree.bulk_load(np.arange(0, 4_000))
         entries = [e for e in tree.stats().entries_per_level if e > 0]
         assert entries == sorted(entries)
+
+
+class TestLazyLeveling:
+    def test_largest_level_keeps_a_single_run(self):
+        tree = make_tree(policy=Policy.LAZY_LEVELING, size_ratio=4.0)
+        for key in range(20 * tree.buffer_entries):
+            tree.put(key * 3)
+        occupied = [i for i, runs in enumerate(tree.levels) if runs]
+        assert occupied, "the tree should hold disk-resident data"
+        assert len(tree.levels[occupied[-1]]) == 1
+
+    def test_upper_levels_stack_runs_like_tiering(self):
+        tree = make_tree(policy=Policy.LAZY_LEVELING, size_ratio=4.0)
+        max_upper_runs = 0
+        for key in range(20 * tree.buffer_entries):
+            tree.put(key * 3)
+            for runs in tree.levels[:-1]:
+                max_upper_runs = max(max_upper_runs, len(runs))
+        assert max_upper_runs > 1  # genuinely tiered above the last level
+        assert all(len(runs) < tree.size_ratio for runs in tree.levels)
+
+    def test_no_entries_lost_through_compactions(self):
+        tree = make_tree(policy=Policy.LAZY_LEVELING, size_ratio=3.0)
+        keys = [int(k) for k in np.random.default_rng(3).permutation(3_000)]
+        for key in keys:
+            tree.put(key)
+        assert tree.num_entries == len(set(keys))
+
+    def test_compaction_traffic_sits_between_the_classical_policies(self):
+        trees = {
+            policy: make_tree(policy=policy, size_ratio=4.0)
+            for policy in (Policy.LEVELING, Policy.TIERING, Policy.LAZY_LEVELING)
+        }
+        for key in range(10_000):
+            for tree in trees.values():
+                tree.put(key)
+        writes = {
+            policy: tree.disk.counters.compaction_writes
+            for policy, tree in trees.items()
+        }
+        assert writes[Policy.LAZY_LEVELING] > 0
+        assert (
+            writes[Policy.TIERING]
+            < writes[Policy.LAZY_LEVELING]
+            < writes[Policy.LEVELING]
+        )
+
+    def test_reads_and_deletes_behave(self):
+        tree = make_tree(policy=Policy.LAZY_LEVELING)
+        tree.bulk_load(np.arange(0, 2_000, 2))
+        assert tree.get(100)
+        assert not tree.get(101)
+        tree.delete(100)
+        assert tree.get(100) is False
+        assert tree.range_query(200, 299) == 50
+
+    def test_bulk_load_matches_policy_steady_state(self):
+        tree = make_tree(policy=Policy.LAZY_LEVELING, size_ratio=4.0)
+        tree.bulk_load(np.arange(0, 6_000))
+        occupied = [i for i, runs in enumerate(tree.levels) if runs]
+        assert len(tree.levels[occupied[-1]]) == 1  # leveled largest level
+        assert tree.num_entries == 6_000
+
+    def test_single_level_tree_behaves_like_leveling(self):
+        lazy = make_tree(policy=Policy.LAZY_LEVELING, size_ratio=50.0, num_entries=2_000)
+        leveled = make_tree(policy=Policy.LEVELING, size_ratio=50.0, num_entries=2_000)
+        for key in range(4 * lazy.buffer_entries):
+            lazy.put(key)
+            leveled.put(key)
+        assert lazy.stats().runs_per_level == leveled.stats().runs_per_level
+        assert (
+            lazy.disk.counters.compaction_writes
+            == leveled.disk.counters.compaction_writes
+        )

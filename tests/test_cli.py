@@ -57,3 +57,77 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "nominal" in out and "robust" in out
         assert "I/O reduction" in out
+
+
+class TestPolicyFlag:
+    def test_tune_accepts_lazy_leveling(self, capsys):
+        code = main(
+            [
+                "tune",
+                "--workload", "0.45", "0.05", "0.0", "0.5",
+                "--rho", "0",
+                "--policy", "lazy-leveling",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policies"] == ["lazy-leveling"]
+        assert payload["nominal"]["policy"] == "lazy-leveling"
+
+    def test_tune_policy_all_searches_three_policies(self, capsys):
+        code = main(
+            ["tune", "--workload", "0.25", "0.25", "0.25", "0.25", "--rho", "0",
+             "--policy", "all"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policies"] == ["leveling", "tiering", "lazy-leveling"]
+
+    def test_tune_policy_classic_matches_the_paper_pair(self, capsys):
+        code = main(
+            ["tune", "--workload", "0.25", "0.25", "0.25", "0.25", "--rho", "0",
+             "--policy", "classic"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policies"] == ["leveling", "tiering"]
+
+    def test_tune_num_entries_scales_the_system(self, capsys):
+        code = main(
+            ["tune", "--workload", "0.25", "0.25", "0.25", "0.25", "--rho", "0",
+             "--num-entries", "1000000"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_entries"] == 1000000
+
+    def test_tune_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["tune", "--workload", "0.25", "0.25", "0.25", "0.25",
+                 "--policy", "fifo"]
+            )
+
+    def test_tune_defaults_to_the_classic_policy_pair(self, capsys):
+        code = main(["tune", "--workload", "0.25", "0.25", "0.25", "0.25", "--rho", "0"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policies"] == ["leveling", "tiering"]
+
+
+class TestCompareJson:
+    def test_compare_emits_machine_readable_json(self, capsys):
+        code = main(
+            ["compare", "--expected-index", "11", "--rho", "0.5",
+             "--num-entries", "3000", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "expected_workload", "rho", "observed_divergence",
+            "tunings", "sessions", "summary",
+        }
+        assert set(payload["tunings"]) == {"nominal", "robust"}
+        assert payload["sessions"], "at least one session measurement"
+        for session in payload["sessions"]:
+            assert set(session["system_ios"]) == {"nominal", "robust"}

@@ -24,7 +24,7 @@ _MODEL = LSMCostModel(_SYSTEM)
 #: Strategy for legal design points of the default system.
 size_ratios = st.floats(min_value=2.0, max_value=100.0, allow_nan=False)
 bits = st.floats(min_value=0.0, max_value=_SYSTEM.max_bits_per_entry - 0.01, allow_nan=False)
-policies = st.sampled_from([Policy.LEVELING, Policy.TIERING])
+policies = st.sampled_from(list(Policy))
 
 
 @st.composite
@@ -79,6 +79,31 @@ class TestCostModelProperties:
         tiered = tuning.with_policy(Policy.TIERING)
         assert _MODEL.empty_read_cost(tiered) >= _MODEL.empty_read_cost(leveled) - 1e-9
         assert _MODEL.write_cost(tiered) <= _MODEL.write_cost(leveled) + 1e-9
+
+    @given(tuning=tunings())
+    @settings(max_examples=40, deadline=None)
+    def test_lazy_leveling_sits_between_the_classical_policies(self, tuning):
+        """Component-wise, lazy leveling is sandwiched between its parents."""
+        leveled = _MODEL.cost_vector(tuning.with_policy(Policy.LEVELING))
+        tiered = _MODEL.cost_vector(tuning.with_policy(Policy.TIERING))
+        lazy = _MODEL.cost_vector(tuning.with_policy(Policy.LAZY_LEVELING))
+        # Reads (Z0, Z1, Q): leveling <= lazy <= tiering.
+        assert np.all(leveled[:3] - 1e-9 <= lazy[:3])
+        assert np.all(lazy[:3] <= tiered[:3] + 1e-9)
+        # Writes: tiering <= lazy <= leveling.
+        assert tiered[3] - 1e-9 <= lazy[3] <= leveled[3] + 1e-9
+
+    @given(tuning=tunings())
+    @settings(max_examples=30, deadline=None)
+    def test_cost_matrix_cell_matches_cost_vector(self, tuning):
+        matrix = _MODEL.cost_matrix(
+            np.array([tuning.size_ratio]),
+            np.array([tuning.bits_per_entry]),
+            tuning.policy,
+        )
+        np.testing.assert_allclose(
+            matrix[0, 0], _MODEL.cost_vector(tuning), atol=1e-9, rtol=1e-9
+        )
 
 
 class TestKLProperties:

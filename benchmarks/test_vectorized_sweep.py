@@ -84,3 +84,79 @@ def test_vectorized_sweep_speedup(benchmark, model_system, report):
     text = "\n".join(lines)
     report("vectorized_sweep", text)
     print("\n" + text)
+
+
+#: Workloads exercised by the batched-polish parity benchmark.
+POLISH_WORKLOAD_INDICES = (4, 7, 11)
+
+#: The batched-gradient polish must not regress on the scalar-FD path by more
+#: than timing noise (it typically runs 1.1-1.4x faster).
+MAX_POLISH_SLOWDOWN = 1.5
+
+
+def _time_polish(system: SystemConfig) -> list[dict[str, float | str]]:
+    """Time the SLSQP polish with batched vs scalar finite differences.
+
+    Both tuners share the same vectorised candidate sweep; only the polish
+    step differs, so it is timed in isolation from identical sweep results.
+    """
+    rows: list[dict[str, float | str]] = []
+    for index in POLISH_WORKLOAD_INDICES:
+        workload = expected_workload(index).workload
+        outcomes = {}
+        for batched in (True, False):
+            tuner = RobustTuner(
+                rho=1.0,
+                system=system,
+                seed=3,
+                starts_per_policy=4,
+                batched_polish=batched,
+            )
+            ratio, inner, policy, value, _ = tuner._sweep_vectorized(workload)
+            start = time.perf_counter()
+            polished = tuner._polish(ratio, inner, policy, workload, value)
+            outcomes[batched] = (polished, time.perf_counter() - start)
+        (b_design, b_s), (s_design, s_s) = outcomes[True], outcomes[False]
+        # Parity pin: the batched gradient must land on the same design and
+        # at least match the scalar objective (up to solver tolerance).
+        assert abs(b_design[0] - s_design[0]) < 0.05
+        assert abs(b_design[1][0] - s_design[1][0]) < 0.05
+        assert b_design[2] <= s_design[2] * (1.0 + 1e-4)
+        rows.append(
+            {
+                "workload": f"w{index}",
+                "scalar_s": s_s,
+                "batched_s": b_s,
+                "speedup": s_s / b_s,
+                "objective": b_design[2],
+            }
+        )
+    return rows
+
+
+def test_batched_polish_finite_differences(benchmark, model_system, report):
+    rows = run_once(benchmark, lambda: _time_polish(model_system))
+
+    total_scalar = sum(r["scalar_s"] for r in rows)
+    total_batched = sum(r["batched_s"] for r in rows)
+    overall = total_scalar / total_batched
+    assert overall >= 1.0 / MAX_POLISH_SLOWDOWN, (
+        f"batched polish gradient is {1 / overall:.2f}x slower than scalar FD"
+    )
+
+    lines = [
+        f"{'workload':<10}{'scalar FD (s)':>14}{'batched (s)':>14}{'speedup':>10}"
+        f"{'objective':>14}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['workload']:<10}{row['scalar_s']:>14.3f}{row['batched_s']:>14.3f}"
+            f"{row['speedup']:>9.2f}x{row['objective']:>14.6f}"
+        )
+    lines.append(
+        f"overall: scalar {total_scalar:.3f}s vs batched {total_batched:.3f}s"
+        f" -> {overall:.2f}x"
+    )
+    text = "\n".join(lines)
+    report("vectorized_polish", text)
+    print("\n" + text)

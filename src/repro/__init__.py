@@ -10,8 +10,12 @@ The package is organised as:
   session sequences and concrete query traces.
 * :mod:`repro.storage` — a pure-Python LSM-tree storage engine with I/O
   accounting, standing in for RocksDB in the system-based evaluation.
+* :mod:`repro.online` — the online adaptive-tuning subsystem: workload-drift
+  detection over the live operation stream and in-place re-tuning of a
+  running tree.
 * :mod:`repro.analysis` — evaluation metrics and the experiment drivers that
-  regenerate every figure and table of the paper.
+  regenerate every figure and table of the paper, plus the static-vs-adaptive
+  drift experiments.
 """
 
 from .core import GridTuner, NominalTuner, RobustTuner, TuningResult, UncertaintyRegion

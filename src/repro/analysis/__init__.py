@@ -21,6 +21,13 @@ from .model_eval import (
     section84_win_rate,
     tuning_table,
 )
+from .online_eval import (
+    AdaptiveComparison,
+    AdaptiveExperiment,
+    AdaptiveSessionRow,
+    drifting_sequence,
+    format_adaptive_comparison,
+)
 from .system_eval import (
     SequenceComparison,
     SessionComparison,
@@ -30,6 +37,9 @@ from .system_eval import (
 )
 
 __all__ = [
+    "AdaptiveComparison",
+    "AdaptiveExperiment",
+    "AdaptiveSessionRow",
     "SequenceComparison",
     "SessionComparison",
     "SystemExperiment",
@@ -37,12 +47,14 @@ __all__ = [
     "average_delta_throughput",
     "cost_landscape",
     "delta_throughput",
+    "drifting_sequence",
     "figure3_kl_histograms",
     "figure4_delta_by_category",
     "figure5_rho_impact",
     "figure6_throughput_histograms",
     "figure6_throughput_range",
     "figure7_contour",
+    "format_adaptive_comparison",
     "format_comparison",
     "policy_table",
     "scaling_experiment",

@@ -27,12 +27,17 @@ import sys
 from typing import Sequence
 
 from .analysis.model_eval import TuningCatalog, tuning_table
+from .analysis.online_eval import AdaptiveExperiment, format_adaptive_comparison
 from .analysis.system_eval import SystemExperiment, format_comparison
 from .core.nominal import NominalTuner
 from .core.robust import RobustTuner
 from .lsm.policy import ALL_POLICIES, CLASSIC_POLICIES, Policy
 from .lsm.system import SystemConfig, simulator_system
+from .online.controller import OnlineConfig
+from .online.retuner import RETUNING_MODES
+from .storage.executor import ExecutorConfig
 from .workloads.benchmark import expected_workloads
+from .workloads.sessions import SessionType
 from .workloads.workload import Workload
 
 #: ``--policy`` choices: each concrete policy plus the exhaustive sweeps.
@@ -91,17 +96,63 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _executor_config(args: argparse.Namespace, **overrides) -> ExecutorConfig:
+    """Executor knobs from CLI flags; ``--seed`` makes runs reproducible."""
+    config = ExecutorConfig(**overrides)
+    if getattr(args, "seed", None) is not None:
+        config.seed = args.seed
+    return config
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     expected = expected_workloads()[args.expected_index].workload
     experiment = SystemExperiment(
         system=simulator_system(num_entries=args.num_entries),
+        executor_config=_executor_config(args),
         policies=_policies_from_arg(args.policy),
+        **({"seed": args.seed} if args.seed is not None else {}),
     )
     comparison = experiment.run(expected, rho=args.rho)
     if args.json:
         print(json.dumps(comparison.to_dict(), indent=2))
     else:
         print(format_comparison(comparison))
+    return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    expected = expected_workloads()[args.expected_index].workload
+    online = OnlineConfig(
+        window=args.window,
+        check_interval=args.check_interval,
+        min_observations=args.min_observations,
+        cooldown=args.cooldown,
+        confirm_checks=args.confirm_checks,
+        threshold=args.threshold,
+        mode=args.mode,
+        rho=args.retune_rho,
+        horizon_ops=args.horizon,
+    )
+    experiment = AdaptiveExperiment(
+        system=simulator_system(num_entries=args.num_entries),
+        executor_config=_executor_config(
+            args, queries_per_workload=args.queries_per_workload
+        ),
+        online=online,
+        policies=_policies_from_arg(args.policy),
+        parallel=args.parallel,
+        **({"seed": args.seed} if args.seed is not None else {}),
+    )
+    comparison = experiment.run(
+        expected,
+        rho=args.rho,
+        phases=args.phases,
+        sessions_per_phase=args.sessions_per_phase,
+    )
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2))
+    else:
+        print(format_adaptive_comparison(comparison))
     return 0
 
 
@@ -159,11 +210,118 @@ def build_parser() -> argparse.ArgumentParser:
         help="compaction policies the tuners may deploy on the simulator",
     )
     compare.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed of the key space, traces and session sampling "
+        "(same seed -> identical simulation, end to end)",
+    )
+    compare.add_argument(
         "--json",
         action="store_true",
         help="emit the comparison as machine-readable JSON instead of a table",
     )
     compare.set_defaults(func=_cmd_compare)
+
+    online = subparsers.add_parser(
+        "online",
+        help="replay a drifting session sequence with online adaptive re-tuning",
+    )
+    online.add_argument(
+        "--expected-index",
+        type=int,
+        default=11,
+        help="Table 2 index of the workload the static tunings expect",
+    )
+    online.add_argument(
+        "--rho", type=float, default=0.5, help="radius of the static robust tuning"
+    )
+    online.add_argument("--num-entries", type=int, default=10_000)
+    online.add_argument("--queries-per-workload", type=int, default=1_000)
+    online.add_argument(
+        "--phases",
+        nargs="+",
+        default=["read", "write"],
+        choices=[t.value for t in SessionType],
+        help="session types of the drift phases, in stream order",
+    )
+    online.add_argument("--sessions-per-phase", type=int, default=3)
+    online.add_argument(
+        "--window",
+        type=int,
+        default=400,
+        help="effective window (operations) of the rolling workload estimator",
+    )
+    online.add_argument(
+        "--check-interval", type=int, default=64, help="operations between drift checks"
+    )
+    online.add_argument(
+        "--min-observations",
+        type=int,
+        default=256,
+        help="estimator warm-up before drift may fire",
+    )
+    online.add_argument(
+        "--cooldown",
+        type=int,
+        default=2_048,
+        help="operations after a firing during which drift is suppressed",
+    )
+    online.add_argument(
+        "--confirm-checks",
+        type=int,
+        default=5,
+        help="consecutive out-of-region checks required before drift fires",
+    )
+    online.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="KL drift threshold (default: the re-tuning radius)",
+    )
+    online.add_argument(
+        "--mode",
+        choices=RETUNING_MODES,
+        default="nominal",
+        help="re-tuner run on drift",
+    )
+    online.add_argument(
+        "--retune-rho",
+        type=float,
+        default=1.0,
+        help="uncertainty radius of robust re-tunings (and the default "
+        "drift threshold)",
+    )
+    online.add_argument(
+        "--horizon",
+        type=int,
+        default=12_000,
+        help="operations over which a migration's cost must be recouped",
+    )
+    online.add_argument(
+        "--policy",
+        choices=_POLICY_CHOICES,
+        default="classic",
+        help="compaction policies the tuners (static and online) may deploy",
+    )
+    online.add_argument(
+        "--parallel",
+        action="store_true",
+        help="measure the static tunings on a multiprocessing pool",
+    )
+    online.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed of the key space, traces and session sampling "
+        "(same seed -> identical simulation, end to end)",
+    )
+    online.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the comparison as machine-readable JSON instead of a table",
+    )
+    online.set_defaults(func=_cmd_online)
     return parser
 
 

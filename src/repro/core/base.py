@@ -81,6 +81,12 @@ class BaseTuner(abc.ABC):
         batched :meth:`~repro.lsm.cost_model.LSMCostModel.cost_matrix`
         (default) or with one scalar Brent solve per candidate size ratio
         (the pre-vectorisation reference path).
+    batched_polish:
+        Whether the SLSQP polish uses the tuner's batched finite-difference
+        gradient (one :meth:`~repro.lsm.cost_model.LSMCostModel.cost_matrix`
+        pass per gradient) where available, instead of SLSQP's own scalar
+        finite differences.  Tuners that implement no batched gradient
+        (see :meth:`_polish_jacobian`) fall back to the scalar path.
     seed:
         Seed of the random starting points used by the polish step.
     """
@@ -93,6 +99,7 @@ class BaseTuner(abc.ABC):
         starts_per_policy: int = 2,
         polish: bool = True,
         vectorized: bool = True,
+        batched_polish: bool = True,
         seed: int = 0,
     ) -> None:
         self.system = system if system is not None else SystemConfig()
@@ -105,6 +112,7 @@ class BaseTuner(abc.ABC):
         self.starts_per_policy = starts_per_policy
         self.polish = polish
         self.vectorized = vectorized
+        self.batched_polish = batched_polish
         if ratio_candidates is None:
             ratio_candidates = default_ratio_candidates(self.system.max_size_ratio)
         self.ratio_candidates = np.asarray(sorted(ratio_candidates), dtype=float)
@@ -246,15 +254,29 @@ class BaseTuner(abc.ABC):
         best = int(np.argmin(values))
         return self._refine_bracket(objective, grid, values, best)
 
-    def _slsqp(self, objective, start: np.ndarray, bounds) -> optimize.OptimizeResult:
+    def _slsqp(
+        self, objective, start: np.ndarray, bounds, jac=None
+    ) -> optimize.OptimizeResult:
         """Run one SLSQP minimisation from a starting point."""
         return optimize.minimize(
             objective,
             np.asarray(start, dtype=float),
             method="SLSQP",
+            jac=jac,
             bounds=bounds,
             options={"maxiter": 200, "ftol": 1e-10},
         )
+
+    def _polish_jacobian(self, policy: Policy, workload: Workload):
+        """Gradient callable of the polish objective, or ``None``.
+
+        Returning ``None`` (the default) lets SLSQP fall back to its own
+        scalar finite differences.  Tuners whose objective is a function of
+        the cost vector can override this with a batched implementation that
+        prices all design perturbations through one
+        :meth:`~repro.lsm.cost_model.LSMCostModel.cost_matrix` call.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Candidate sweeps
@@ -390,9 +412,10 @@ class BaseTuner(abc.ABC):
                 )
             )
 
+        jac = self._polish_jacobian(policy, workload) if self.batched_polish else None
         best = (size_ratio, inner, current_value)
         for start in starts:
-            result = self._slsqp(full_objective, start, bounds)
+            result = self._slsqp(full_objective, start, bounds, jac=jac)
             value = float(result.fun)
             if np.isfinite(value) and value < best[2]:
                 best = (

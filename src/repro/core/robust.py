@@ -170,6 +170,76 @@ class RobustTuner(BaseTuner):
         return self._inner_from_design(size_ratio, bits, policy, workload), value
 
     # ------------------------------------------------------------------
+    # Batched finite differences (used by the SLSQP polish)
+    # ------------------------------------------------------------------
+    def _polish_jacobian(self, policy: Policy, workload: Workload):
+        """Batched finite-difference gradient of the polish objective.
+
+        SLSQP's own finite differences evaluate the scalar objective once per
+        design perturbation, and each evaluation rebuilds a cost vector from
+        scratch.  The polish objective only depends on the design through
+        ``c(T, h)``, so all cost-vector perturbations fit in a single 2×2
+        :meth:`~repro.lsm.cost_model.LSMCostModel.cost_matrix` call — the
+        ``(T, T+δ) × (h, h+δ)`` grid — and the λ perturbation reuses the base
+        cost vector (the dual is an analytic function of λ for a fixed
+        ``c``).  One batched pass replaces four scalar cost evaluations per
+        gradient.
+        """
+
+        def jacobian(design: np.ndarray) -> np.ndarray:
+            return self._batched_polish_gradient(
+                np.asarray(design, dtype=float), policy, workload
+            )
+
+        return jacobian
+
+    def _batched_polish_gradient(
+        self, design: np.ndarray, policy: Policy, workload: Workload
+    ) -> np.ndarray:
+        size_ratio, bits, lam = design
+        t_lo, t_hi = self.size_ratio_bounds
+        h_lo, h_hi = self.bits_per_entry_bounds
+        # Mirror the clamping of the scalar objective so the gradient is taken
+        # at the point the objective actually evaluates.
+        size_ratio = float(np.clip(size_ratio, t_lo, t_hi))
+        bits = float(np.clip(bits, h_lo, h_hi))
+        lam = float(np.clip(lam, *_LAMBDA_BOUNDS))
+
+        sqrt_eps = float(np.sqrt(np.finfo(float).eps))
+        # Forward steps, flipped to backward at the upper bounds so every
+        # perturbed design stays inside the legal box.
+        dt = sqrt_eps * max(1.0, abs(size_ratio))
+        if size_ratio + dt > t_hi:
+            dt = -dt
+        dh = sqrt_eps * max(1.0, abs(bits))
+        if bits + dh > h_hi:
+            dh = -dh
+        dl = sqrt_eps * max(1.0, abs(lam))
+        if lam + dl > _LAMBDA_BOUNDS[1]:
+            dl = -dl
+
+        try:
+            costs = self.cost_model.cost_matrix(
+                [size_ratio, size_ratio + dt], [bits, bits + dh], policy
+            )
+        except (ValueError, OverflowError):
+            # Degenerate corner of the design box: let the value at the
+            # perturbed design be what the scalar objective would report.
+            return np.zeros(3)
+
+        weights = workload.as_array()
+        if self.rho == 0.0:
+            base = float(costs[0, 0] @ weights)
+            grad_t = (float(costs[1, 0] @ weights) - base) / dt
+            grad_h = (float(costs[0, 1] @ weights) - base) / dh
+            return np.array([grad_t, grad_h, 0.0])
+        base = self.dual_value(costs[0, 0], workload, lam)
+        grad_t = (self.dual_value(costs[1, 0], workload, lam) - base) / dt
+        grad_h = (self.dual_value(costs[0, 1], workload, lam) - base) / dh
+        grad_l = (self.dual_value(costs[0, 0], workload, lam + dl) - base) / dl
+        return np.array([grad_t, grad_h, grad_l])
+
+    # ------------------------------------------------------------------
     # Full-design objective (used by the SLSQP polish)
     # ------------------------------------------------------------------
     def _objective(

@@ -1,0 +1,302 @@
+"""The online control loop: observe, detect drift, re-tune, migrate.
+
+:class:`OnlineLSMController` wraps a live :class:`~repro.storage.lsm_tree.LSMTree`
+and executes the operation stream through it while running the adaptive loop:
+
+1. every executed operation is folded into the rolling
+   :class:`~repro.online.observed.ObservedWorkload` estimate,
+2. every ``check_interval`` operations the
+   :class:`~repro.online.drift.DriftDetector` compares the estimate against
+   the region the deployed tuning was computed for,
+3. on drift, the :class:`~repro.online.retuner.AdaptiveTuner` solves for the
+   best tuning of the observed workload and prices the migration,
+4. a justified proposal is applied *in place*: the tree's resident data is
+   read out and rebuilt under the new tuning — new size ratio, new
+   compaction policy, new Monkey bloom allocation — with every migrated page
+   charged to the shared virtual disk as compaction traffic, so adaptivity
+   is honestly priced in the measured I/O stream.
+
+After a migration the detector is re-centred on the workload the new tuning
+was computed for, and its cooldown gives the migration time to pay off
+before the next drift episode may fire.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.uncertainty import UncertaintyRegion
+from ..lsm.policy import CLASSIC_POLICIES, Policy
+from ..lsm.system import SystemConfig
+from ..lsm.tuning import LSMTuning
+from ..storage.lsm_tree import LSMTree
+from ..storage.run import SortedRun
+from ..workloads.traces import Operation
+from ..workloads.workload import Workload
+from .drift import DriftDetector
+from .observed import ObservedWorkload
+from .retuner import AdaptiveTuner, RetuningDecision
+
+
+@dataclass
+class OnlineConfig:
+    """Knobs of the online adaptive-tuning loop."""
+
+    #: Effective window (in operations) of the rolling workload estimator.
+    window: int = 2_000
+    #: Operations between drift checks.
+    check_interval: int = 256
+    #: Estimator observations required before drift may fire (warm-up).
+    min_observations: int = 512
+    #: Operations after a firing/migration during which drift is suppressed.
+    cooldown: int = 4_096
+    #: Consecutive out-of-region checks required before drift fires (lets the
+    #: estimator window flush the pre-drift mix before re-tuning).
+    confirm_checks: int = 3
+    #: KL-divergence radius beyond which drift fires; ``None`` uses ``rho``
+    #: (the detector watches the same ball the robust tuner optimised for).
+    threshold: float | None = None
+    #: Re-tuning mode on drift: ``"nominal"`` or ``"robust"``.
+    mode: str = "robust"
+    #: Uncertainty radius of robust re-tunings (and the default threshold).
+    rho: float = 0.25
+    #: Amortisation horizon of migrations, in operations.
+    horizon_ops: int = 20_000
+    #: Multiplier on the migration cost the predicted savings must clear.
+    safety_factor: float = 1.0
+    #: Component floor of the reported observed workload (0 = raw mix).
+    smoothing: float = 0.0
+    #: Whether re-tunings run the SLSQP polish (the sweep alone is usually
+    #: enough online, and much faster).
+    polish: bool = False
+
+    def __post_init__(self) -> None:
+        if self.check_interval <= 0:
+            raise ValueError("check_interval must be positive")
+        if self.threshold is not None and self.threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if self.rho < 0:
+            raise ValueError("rho must be non-negative")
+
+    @property
+    def drift_threshold(self) -> float:
+        """The KL radius the drift detector watches."""
+        return self.rho if self.threshold is None else self.threshold
+
+
+@dataclass(frozen=True)
+class RetuningEvent:
+    """One firing of the drift detector and what came of it."""
+
+    position: int
+    divergence: float
+    observed: Workload
+    decision: RetuningDecision
+    migrated: bool
+    migration_read_pages: int
+    migration_write_pages: int
+
+    @property
+    def migration_pages(self) -> int:
+        """Total pages moved by the migration (0 when it was declined)."""
+        return self.migration_read_pages + self.migration_write_pages
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise to plain JSON-compatible data.
+
+        An infinite divergence (the zero-weight-component escape) maps to
+        ``None``: ``json.dumps`` would otherwise emit the non-standard
+        ``Infinity`` literal, which strict JSON parsers reject.
+        """
+        return {
+            "position": self.position,
+            "divergence": self.divergence if math.isfinite(self.divergence) else None,
+            "observed": self.observed.as_dict(),
+            "decision": self.decision.to_dict(),
+            "migrated": self.migrated,
+            "migration_read_pages": self.migration_read_pages,
+            "migration_write_pages": self.migration_write_pages,
+        }
+
+
+@dataclass
+class OnlineLSMController:
+    """Drives a live LSM tree and re-tunes it when the workload drifts.
+
+    Parameters
+    ----------
+    tree:
+        The live (already loaded) tree; its virtual disk keeps accounting
+        across migrations, so measurement deltas taken around the controller
+        see query, compaction *and* migration traffic on one stream.
+    expected:
+        The nominal workload the initial tuning was computed for; the drift
+        detector's region is centred here until the first migration.
+    config:
+        Online-loop knobs; defaults are reasonable for simulator-scale runs.
+    policies:
+        Compaction policies re-tunings may deploy.
+    system:
+        System configuration; defaults to the tree's own.
+    """
+
+    tree: LSMTree
+    expected: Workload
+    config: OnlineConfig = field(default_factory=OnlineConfig)
+    policies: Sequence[Policy] = CLASSIC_POLICIES
+    system: SystemConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.system is None:
+            self.system = self.tree.system
+        self.disk = self.tree.disk
+        self.estimator = ObservedWorkload(
+            window=self.config.window, smoothing=self.config.smoothing
+        )
+        self.detector = DriftDetector(
+            UncertaintyRegion(expected=self.expected, rho=self.config.drift_threshold),
+            min_observations=self.config.min_observations,
+            cooldown=self.config.cooldown,
+            confirm_checks=self.config.confirm_checks,
+        )
+        self.retuner = AdaptiveTuner(
+            system=self.system,
+            mode=self.config.mode,
+            rho=self.config.rho,
+            policies=self.policies,
+            horizon_ops=self.config.horizon_ops,
+            safety_factor=self.config.safety_factor,
+            polish=self.config.polish,
+        )
+        self.position = 0
+        self.events: list[RetuningEvent] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tuning(self) -> LSMTuning:
+        """The tuning currently deployed on the live tree."""
+        return self.tree.tuning
+
+    @property
+    def num_migrations(self) -> int:
+        """Number of migrations applied so far."""
+        return sum(1 for event in self.events if event.migrated)
+
+    def observed_workload(self) -> Workload | None:
+        """The estimator's current workload estimate."""
+        return self.estimator.workload()
+
+    def resident_pages(self) -> int:
+        """Disk pages currently occupied by the tree's runs."""
+        return sum(run.num_pages for runs in self.tree.levels for run in runs)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def apply(self, operation: Operation) -> None:
+        """Execute one operation on the live tree and run the adaptive loop."""
+        self.tree.apply(operation)
+        self.estimator.record_kind(operation.kind)
+        self.position += 1
+        if self.position % self.config.check_interval == 0:
+            self.maybe_retune()
+
+    def execute(self, operations: Iterable[Operation]) -> None:
+        """Execute a stream of operations through the adaptive loop."""
+        for operation in operations:
+            self.apply(operation)
+
+    # ------------------------------------------------------------------
+    # Adaptive loop
+    # ------------------------------------------------------------------
+    def maybe_retune(self) -> RetuningEvent | None:
+        """Run one drift check; re-tune and possibly migrate when it fires."""
+        observed = self.estimator.workload()
+        check = self.detector.check(
+            observed, self.position, self.estimator.observations
+        )
+        if not check.fired:
+            return None
+        decision = self.retuner.retune(observed, self.tree.tuning, self.resident_pages())
+        migrated = decision.justified and decision.proposed != self.tree.tuning
+        read_pages = write_pages = 0
+        if migrated:
+            read_pages, write_pages = self._migrate(decision.proposed)
+            # The new tuning is nominal for the workload it was computed on:
+            # watch for the *next* drift relative to that, with fresh cooldown.
+            self.detector.recenter(observed, self.position)
+        event = RetuningEvent(
+            position=self.position,
+            divergence=check.divergence,
+            observed=observed,
+            decision=decision,
+            migrated=migrated,
+            migration_read_pages=read_pages,
+            migration_write_pages=write_pages,
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+    def _live_keys(self) -> np.ndarray:
+        """All live keys of the tree (runs + memtable), tombstones resolved.
+
+        Versions are consolidated newest-first exactly like a full compaction
+        (via :meth:`~repro.storage.run.SortedRun.merge`): a tombstone in a
+        recent run *shadows* older live versions of its key in deeper runs,
+        so deleted keys are not resurrected by the rebuild.
+        """
+        tree = self.tree
+        ordered = []
+        buffered_keys, buffered_tombstones = tree.memtable.sorted_items()
+        if buffered_keys.size:
+            ordered.append(
+                SortedRun(
+                    keys=buffered_keys,
+                    entries_per_page=tree.entries_per_page,
+                    tombstones=buffered_tombstones,
+                )
+            )
+        # ``levels`` runs shallow-to-deep, and runs within a level are kept
+        # most-recent first — the recency order ``SortedRun.merge`` expects.
+        ordered.extend(run for runs in tree.levels for run in runs)
+        if not ordered:
+            return np.empty(0, dtype=np.int64)
+        merged = SortedRun.merge(
+            ordered, entries_per_page=tree.entries_per_page, drop_tombstones=True
+        )
+        return merged.keys.copy()
+
+    def _migrate(self, new_tuning: LSMTuning) -> tuple[int, int]:
+        """Rebuild the live tree under ``new_tuning``, charging the I/O.
+
+        Every resident page of the old tree is read and every run page of the
+        rebuilt tree is written, both recorded as compaction traffic on the
+        shared virtual disk — the migration is part of the measured stream,
+        not free.  Buffered (memtable) entries move without I/O, as they
+        would in a real engine where the write buffer lives in RAM.
+        """
+        read_pages = self.resident_pages()
+        keys = self._live_keys()
+        replacement = LSMTree(
+            tuning=new_tuning,
+            system=self.system,
+            disk=self.disk,
+            seed=self.tree._seed + self.tree._run_counter + 1,
+        )
+        replacement.bulk_load(keys)
+        write_pages = sum(
+            run.num_pages for runs in replacement.levels for run in runs
+        )
+        self.disk.read_pages(read_pages, compaction=True)
+        self.disk.write_pages(write_pages, compaction=True)
+        self.tree = replacement
+        return read_pages, write_pages

@@ -1,0 +1,151 @@
+"""Workload-drift detection against the tuned-for uncertainty region.
+
+A deployed tuning was optimised for the KL ball ``U_w^ρ`` around a nominal
+workload (robust tunings explicitly, nominal tunings with ``ρ = 0`` in
+spirit).  The detector keeps that region — reusing
+:class:`~repro.core.uncertainty.UncertaintyRegion` — and compares the rolling
+:class:`~repro.online.observed.ObservedWorkload` estimate against it: while
+the observed workload stays inside the ball the deployed tuning's worst-case
+guarantee still covers the stream, and the detector stays quiet; once the
+divergence exceeds the radius the guarantee has been escaped and the detector
+fires, subject to a warm-up floor (too few observations make the estimate
+noise) and a cooldown (a re-tuning must be given time to pay off before the
+next one is considered).
+
+Two edge cases are handled explicitly rather than by accident:
+
+* a *zero-weight component of the nominal workload* observed live makes the
+  KL divergence infinite — that is a genuine escape (no tilting of the
+  nominal workload can reach the observed one) and fires the detector;
+* a *zero-weight component of the observed workload* contributes nothing to
+  the divergence, matching the convention of
+  :func:`~repro.workloads.workload.kl_divergence`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.uncertainty import UncertaintyRegion
+from ..workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class DriftCheck:
+    """Outcome of one drift check."""
+
+    position: int
+    divergence: float
+    fired: bool
+    #: Why the check did (or did not) fire: ``inside``, ``warmup``,
+    #: ``confirming``, ``cooldown`` or ``drift``.
+    reason: str
+
+
+class DriftDetector:
+    """Fires when the observed workload escapes the tuned-for KL ball.
+
+    Parameters
+    ----------
+    region:
+        The uncertainty region the deployed tuning was computed for; its
+        ``rho`` is the drift threshold.
+    min_observations:
+        Number of operations the estimator must have folded in before a
+        check may fire (the empirical workload of a handful of queries is
+        noise, not drift).
+    cooldown:
+        Number of operations after a firing (or an explicit
+        :meth:`mute`/:meth:`recenter`) during which further firings are
+        suppressed, so one drift episode triggers one re-tuning.
+    confirm_checks:
+        Number of *consecutive* out-of-region checks required before the
+        detector fires.  Confirmation delays the firing past the front of a
+        drift episode, by which time the rolling estimator's window has
+        flushed the pre-drift mix — so the re-tuner solves for the settled
+        new workload, not for a transient blend of old and new.
+    """
+
+    def __init__(
+        self,
+        region: UncertaintyRegion,
+        min_observations: int = 512,
+        cooldown: int = 4_096,
+        confirm_checks: int = 1,
+    ) -> None:
+        if min_observations < 0:
+            raise ValueError("min_observations must be non-negative")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        if confirm_checks <= 0:
+            raise ValueError("confirm_checks must be positive")
+        self.region = region
+        self.min_observations = int(min_observations)
+        self.cooldown = int(cooldown)
+        self.confirm_checks = int(confirm_checks)
+        self._muted_until = 0
+        self._consecutive_outside = 0
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+    @property
+    def threshold(self) -> float:
+        """The KL-divergence radius beyond which the detector fires."""
+        return self.region.rho
+
+    def divergence(self, observed: Workload) -> float:
+        """KL divergence of ``observed`` from the region's nominal workload.
+
+        May be ``inf`` when the observed workload puts mass on a component
+        the nominal workload gives zero weight — an unreachable escape.
+        """
+        return self.region.divergence(observed)
+
+    def check(
+        self,
+        observed: Workload | None,
+        position: int,
+        observations: int | None = None,
+    ) -> DriftCheck:
+        """Evaluate the drift condition at stream ``position``.
+
+        ``observations`` is the estimator's (undecayed) operation count; when
+        provided and below ``min_observations`` the check reports ``warmup``
+        without firing.  A firing check arms the cooldown.
+        """
+        if observed is None or (
+            observations is not None and observations < self.min_observations
+        ):
+            return DriftCheck(position, math.nan, False, "warmup")
+        divergence = self.divergence(observed)
+        if divergence <= self.threshold:
+            self._consecutive_outside = 0
+            return DriftCheck(position, divergence, False, "inside")
+        self._consecutive_outside += 1
+        if self._consecutive_outside < self.confirm_checks:
+            return DriftCheck(position, divergence, False, "confirming")
+        if position < self._muted_until:
+            return DriftCheck(position, divergence, False, "cooldown")
+        self.mute(position)
+        self._consecutive_outside = 0
+        return DriftCheck(position, divergence, True, "drift")
+
+    # ------------------------------------------------------------------
+    # State transitions
+    # ------------------------------------------------------------------
+    def mute(self, position: int) -> None:
+        """Suppress firings for ``cooldown`` operations starting at ``position``."""
+        self._muted_until = position + self.cooldown
+
+    def recenter(self, expected: Workload, position: int) -> None:
+        """Re-centre the region on a new nominal workload (after a migration).
+
+        The radius is preserved: the re-tuned configuration covers the same
+        amount of uncertainty around its own nominal workload.  The cooldown
+        is armed so the fresh tuning gets time to pay off.
+        """
+        self.region = UncertaintyRegion(expected=expected, rho=self.region.rho)
+        self._consecutive_outside = 0
+        self.mute(position)

@@ -1,0 +1,109 @@
+"""Rolling empirical estimate of the live workload.
+
+The offline pipeline works with *declared* workload proportions; the online
+subsystem has to infer them from the operation stream itself.  This module
+folds a stream of :class:`~repro.workloads.traces.Operation`s into a
+sliding-window empirical workload: every recorded operation decays all
+previous observations by a constant factor, so the estimate is an
+exponentially weighted average whose effective window is ``window``
+operations.  Old sessions fade out instead of being sharply truncated, which
+keeps the drift signal smooth across session boundaries.
+"""
+
+from __future__ import annotations
+
+from ..workloads.traces import Operation, OperationType
+from ..workloads.workload import Workload
+
+#: Workload-vector index of each operation type, matching ``(z0, z1, q, w)``.
+_COMPONENT_INDEX: dict[OperationType, int] = {
+    OperationType.EMPTY_GET: 0,
+    OperationType.GET: 1,
+    OperationType.RANGE: 2,
+    OperationType.PUT: 3,
+}
+
+
+class ObservedWorkload:
+    """Exponentially decayed sliding-window estimate of the workload mix.
+
+    Parameters
+    ----------
+    window:
+        Effective window size in operations.  Each new operation decays the
+        accumulated counts by ``1 - 1/window``, so the total decayed weight
+        converges to ``window`` and an operation ``window`` steps in the past
+        contributes ``~1/e`` of a fresh one.
+    smoothing:
+        Optional floor applied to every component of the reported workload
+        (mirroring :meth:`~repro.workloads.workload.Workload.smoothed`).  A
+        small positive floor keeps KL divergences finite when a query type
+        momentarily disappears from the stream; ``0`` reports the raw
+        empirical mix, where zero-weight components are legal and handled by
+        the divergence machinery.
+    """
+
+    def __init__(self, window: int = 2_000, smoothing: float = 0.0) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if not 0.0 <= smoothing < 0.25:
+            raise ValueError("smoothing must lie in [0, 0.25)")
+        self.window = int(window)
+        self.smoothing = float(smoothing)
+        self.decay = 1.0 - 1.0 / self.window
+        self._counts = [0.0, 0.0, 0.0, 0.0]
+        self._weight = 0.0
+        self._observations = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, operation: Operation) -> None:
+        """Fold one operation into the estimate."""
+        self.record_kind(operation.kind)
+
+    def record_kind(self, kind: OperationType) -> None:
+        """Fold one operation of the given type into the estimate."""
+        index = _COMPONENT_INDEX[kind]
+        decay = self.decay
+        counts = self._counts
+        counts[0] *= decay
+        counts[1] *= decay
+        counts[2] *= decay
+        counts[3] *= decay
+        counts[index] += 1.0
+        self._weight = self._weight * decay + 1.0
+        self._observations += 1
+
+    def record_batch(self, operations) -> None:
+        """Fold a sequence of operations into the estimate, in order."""
+        for operation in operations:
+            self.record_kind(operation.kind)
+
+    def reset(self) -> None:
+        """Forget everything observed so far."""
+        self._counts = [0.0, 0.0, 0.0, 0.0]
+        self._weight = 0.0
+        self._observations = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def observations(self) -> int:
+        """Number of operations folded in since the last reset (undecayed)."""
+        return self._observations
+
+    @property
+    def weight(self) -> float:
+        """Total decayed weight of the estimate (converges to ``window``)."""
+        return self._weight
+
+    def workload(self) -> Workload | None:
+        """The current empirical workload, or ``None`` before any operation."""
+        if self._weight <= 0.0:
+            return None
+        estimate = Workload.from_counts(self._counts)
+        if self.smoothing > 0.0:
+            estimate = estimate.smoothed(self.smoothing)
+        return estimate

@@ -3,6 +3,7 @@
 from .bloom_filter import BloomFilter
 from .disk import IOCounters, VirtualDisk
 from .executor import (
+    AdaptiveSequenceMeasurement,
     ExecutorConfig,
     SequenceMeasurement,
     SessionMeasurement,
@@ -13,6 +14,7 @@ from .memtable import Memtable
 from .run import PageSpan, SortedRun
 
 __all__ = [
+    "AdaptiveSequenceMeasurement",
     "BloomFilter",
     "ExecutorConfig",
     "IOCounters",

@@ -9,14 +9,18 @@ writes of the session) and a simulated per-query latency.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
+from ..lsm.policy import CLASSIC_POLICIES, Policy
 from ..lsm.system import SystemConfig
 from ..lsm.tuning import LSMTuning
 from ..workloads.sessions import Session, SessionSequence
-from ..workloads.traces import KeySpace, Operation, OperationType, TraceGenerator
+from ..workloads.traces import KeySpace, Operation, TraceGenerator
 from ..workloads.workload import Workload
 from .disk import VirtualDisk
 from .lsm_tree import LSMTree
@@ -88,6 +92,37 @@ class SequenceMeasurement:
         ]
 
 
+@dataclass(frozen=True)
+class AdaptiveSequenceMeasurement(SequenceMeasurement):
+    """A sequence measurement taken with online adaptive re-tuning enabled.
+
+    The inherited per-session measurements include every page the adaptive
+    controller's migrations moved (charged as compaction traffic on the
+    shared virtual disk), so ``ios_per_query`` honestly prices adaptivity.
+    ``events`` records each drift firing
+    (:class:`~repro.online.controller.RetuningEvent`), whether or not it led
+    to a migration.
+    """
+
+    final_tuning: LSMTuning
+    events: tuple
+
+    @property
+    def initial_tuning(self) -> LSMTuning:
+        """The tuning the sequence started under (alias of ``tuning``)."""
+        return self.tuning
+
+    @property
+    def num_migrations(self) -> int:
+        """Number of migrations the controller applied during the sequence."""
+        return sum(1 for event in self.events if event.migrated)
+
+    @property
+    def migration_pages(self) -> int:
+        """Total pages read + written by migrations during the sequence."""
+        return sum(event.migration_pages for event in self.events)
+
+
 @dataclass
 class ExecutorConfig:
     """Knobs of the system-measurement harness."""
@@ -139,25 +174,31 @@ class WorkloadExecutor:
         self, tree: LSMTree, operations: list[Operation]
     ) -> None:
         for op in operations:
-            if op.kind is OperationType.PUT:
-                tree.put(op.key)
-            elif op.kind is OperationType.RANGE:
-                tree.range_query(op.key, op.key + op.scan_length)
-            else:
-                tree.get(op.key)
+            tree.apply(op)
 
-    def run_session(
-        self, tree: LSMTree, session: Session, trace: TraceGenerator
+    def _measure_session(
+        self,
+        disk: VirtualDisk,
+        execute: Callable[[list[Operation]], None],
+        session: Session,
+        trace: TraceGenerator,
     ) -> SessionMeasurement:
-        """Execute one session on an existing tree and measure its I/O."""
-        before = tree.disk.snapshot()
+        """Generate one session's traces, run them through ``execute``, and
+        measure the I/O delta on ``disk``.
+
+        ``execute`` is whatever consumes the operations — a plain tree replay
+        or the adaptive controller's loop; everything that hits ``disk``
+        between the snapshots (queries, flushes, compactions, migrations) is
+        attributed to the session.
+        """
+        before = disk.snapshot()
         num_queries = 0
         for workload in session.workloads:
             operations = trace.operations(workload, self.config.queries_per_workload)
             num_queries += len(operations)
-            self._execute_operations(tree, operations)
-        delta = tree.disk.counters.delta(before)
-        latency = tree.disk.latency_us(delta) / max(1, num_queries)
+            execute(operations)
+        delta = disk.counters.delta(before)
+        latency = disk.latency_us(delta) / max(1, num_queries)
         return SessionMeasurement(
             label=session.label,
             workload=session.average,
@@ -168,6 +209,17 @@ class WorkloadExecutor:
             compaction_reads=delta.compaction_reads,
             compaction_writes=delta.compaction_writes,
             latency_us_per_query=latency,
+        )
+
+    def run_session(
+        self, tree: LSMTree, session: Session, trace: TraceGenerator
+    ) -> SessionMeasurement:
+        """Execute one session on an existing tree and measure its I/O."""
+        return self._measure_session(
+            tree.disk,
+            lambda operations: self._execute_operations(tree, operations),
+            session,
+            trace,
         )
 
     def run_sequence(
@@ -189,9 +241,128 @@ class WorkloadExecutor:
         self,
         tunings: dict[str, LSMTuning],
         sequence: SessionSequence,
+        parallel: bool = False,
+        processes: int | None = None,
     ) -> dict[str, SequenceMeasurement]:
-        """Run the same sequence under several tunings (nominal vs robust)."""
-        return {
-            name: self.run_sequence(tuning, sequence)
-            for name, tuning in tunings.items()
-        }
+        """Run the same sequence under several tunings (nominal vs robust).
+
+        The per-tuning simulations are independent, so with ``parallel=True``
+        they run on a multiprocessing pool (one worker per tuning, capped at
+        ``processes`` or the CPU count).  Each worker rebuilds the executor
+        from the same ``(system, config)`` pair, which reproduces the key
+        space and traces exactly: the parallel path returns measurements
+        identical to the sequential one.
+        """
+        if not parallel or len(tunings) <= 1:
+            return {
+                name: self.run_sequence(tuning, sequence)
+                for name, tuning in tunings.items()
+            }
+        names = list(tunings)
+        worker_count = min(len(names), processes or os.cpu_count() or 1)
+        task = _SequenceTask(system=self.system, config=self.config, sequence=sequence)
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=worker_count) as pool:
+            measurements = pool.map(task, [tunings[name] for name in names])
+        return dict(zip(names, measurements))
+
+    # ------------------------------------------------------------------
+    # Adaptive execution (online re-tuning)
+    # ------------------------------------------------------------------
+    def run_sequence_adaptive(
+        self,
+        initial_tuning: LSMTuning,
+        sequence: SessionSequence,
+        online=None,
+        policies: Sequence[Policy] = CLASSIC_POLICIES,
+    ) -> AdaptiveSequenceMeasurement:
+        """Execute a sequence with the online adaptive-tuning loop enabled.
+
+        The tree starts under ``initial_tuning`` exactly like
+        :meth:`run_sequence`, but operations flow through an
+        :class:`~repro.online.controller.OnlineLSMController`: the controller
+        watches the stream, re-tunes on drift, and migrates the live tree
+        when the predicted gain pays for the move.  Migration I/O lands on
+        the same virtual disk the session deltas are read from, so the
+        returned measurements charge adaptivity at full price.
+
+        ``online`` is an :class:`~repro.online.controller.OnlineConfig`
+        (defaults apply when omitted); ``policies`` bounds what re-tunings
+        may deploy.
+        """
+        # Imported here so the storage layer stays loadable without the
+        # online subsystem (which itself builds on storage).
+        from ..online.controller import OnlineConfig, OnlineLSMController
+
+        tree = self.build_tree(initial_tuning)
+        controller = OnlineLSMController(
+            tree=tree,
+            expected=sequence.expected,
+            config=online if online is not None else OnlineConfig(),
+            policies=policies,
+        )
+        trace = TraceGenerator(
+            key_space=self.key_space,
+            range_scan_keys=self.config.range_scan_keys,
+            seed=self.config.seed,
+        )
+        measurements = tuple(
+            self._measure_session(controller.disk, controller.execute, session, trace)
+            for session in sequence
+        )
+        return AdaptiveSequenceMeasurement(
+            tuning=tree.tuning,
+            sessions=measurements,
+            final_tuning=controller.tuning,
+            events=tuple(controller.events),
+        )
+
+    def compare_adaptive(
+        self,
+        tunings: dict[str, LSMTuning],
+        sequence: SessionSequence,
+        adaptive_from: str = "nominal",
+        online=None,
+        policies: Sequence[Policy] = CLASSIC_POLICIES,
+        parallel: bool = False,
+    ) -> dict[str, SequenceMeasurement]:
+        """Static tunings vs the adaptive executor over one sequence.
+
+        Runs :meth:`compare` for the static ``tunings`` (optionally in
+        parallel) and adds an ``"adaptive"`` entry: the same sequence
+        replayed with re-tuning enabled, starting from
+        ``tunings[adaptive_from]``.
+        """
+        if adaptive_from not in tunings:
+            raise KeyError(f"adaptive_from={adaptive_from!r} is not among the tunings")
+        if "adaptive" in tunings:
+            raise ValueError(
+                '"adaptive" is the reserved name of the adaptive run; '
+                "rename that static tuning"
+            )
+        results: dict[str, SequenceMeasurement] = dict(
+            self.compare(tunings, sequence, parallel=parallel)
+        )
+        results["adaptive"] = self.run_sequence_adaptive(
+            tunings[adaptive_from], sequence, online=online, policies=policies
+        )
+        return results
+
+
+@dataclass(frozen=True)
+class _SequenceTask:
+    """Picklable worker of the parallel :meth:`WorkloadExecutor.compare` path.
+
+    Rebuilding the executor inside the worker (instead of shipping the parent
+    instance) keeps the task lightweight and deterministic: the key space and
+    trace generator are reconstructed from the same seeds, so workers produce
+    bit-identical measurements to the sequential path.
+    """
+
+    system: SystemConfig
+    config: ExecutorConfig
+    sequence: SessionSequence
+
+    def __call__(self, tuning: LSMTuning) -> SequenceMeasurement:
+        executor = WorkloadExecutor(self.system, self.config)
+        return executor.run_sequence(tuning, self.sequence)

@@ -29,6 +29,7 @@ import numpy as np
 from ..lsm.bloom import monkey_bits_per_level
 from ..lsm.system import SystemConfig
 from ..lsm.tuning import LSMTuning
+from ..workloads.traces import Operation, OperationType
 from .disk import VirtualDisk
 from .memtable import Memtable
 from .run import SortedRun
@@ -319,6 +320,24 @@ class LSMTree:
             return 0
         merged = np.unique(np.concatenate(collected))
         return int(merged.size)
+
+    # ------------------------------------------------------------------
+    # Trace operations
+    # ------------------------------------------------------------------
+    def apply(self, operation: Operation) -> None:
+        """Execute one concrete trace operation against the tree.
+
+        The single place the :class:`~repro.workloads.traces.Operation`
+        kinds are dispatched to engine calls — the plain executor replay and
+        the online controller both run the stream through it, so the two
+        measurement paths cannot drift apart.
+        """
+        if operation.kind is OperationType.PUT:
+            self.put(operation.key)
+        elif operation.kind is OperationType.RANGE:
+            self.range_query(operation.key, operation.key + operation.scan_length)
+        else:
+            self.get(operation.key)
 
     # ------------------------------------------------------------------
     # Bulk loading

@@ -1,0 +1,214 @@
+"""Tests for the online controller and the adaptive re-tuner."""
+
+import numpy as np
+import pytest
+
+from repro.lsm import LSMTuning, Policy, simulator_system
+from repro.online import AdaptiveTuner, OnlineConfig, OnlineLSMController
+from repro.storage import LSMTree
+from repro.workloads import KeySpace, TraceGenerator, Workload
+
+
+@pytest.fixture(scope="module")
+def tiny_system():
+    return simulator_system(num_entries=4_000)
+
+
+@pytest.fixture(scope="module")
+def key_space(tiny_system):
+    return KeySpace.build(tiny_system.num_entries, seed=3)
+
+
+def _controller(tiny_system, key_space, config, expected, tuning=None):
+    tuning = tuning if tuning is not None else LSMTuning(20.0, 8.0, Policy.LEVELING)
+    tree = LSMTree(tuning, tiny_system)
+    tree.bulk_load(key_space.existing)
+    tree.disk.reset()
+    return OnlineLSMController(tree=tree, expected=expected, config=config)
+
+
+class TestAdaptiveTuner:
+    def test_rejects_unknown_mode(self, tiny_system):
+        with pytest.raises(ValueError):
+            AdaptiveTuner(system=tiny_system, mode="oracle")
+
+    def test_retune_proposes_a_deployable_tuning(self, tiny_system):
+        tuner = AdaptiveTuner(system=tiny_system, mode="nominal")
+        current = LSMTuning(30.0, 8.0, Policy.LEVELING)
+        decision = tuner.retune(
+            Workload(0.05, 0.05, 0.05, 0.85), current, resident_pages=1_000
+        )
+        assert decision.proposed.size_ratio == int(decision.proposed.size_ratio)
+        assert decision.migration_ios == 2_000.0
+        # A write-heavy observation must predict a gain over a read-tuned tree.
+        assert decision.predicted_gain > 0
+
+    def test_unjustified_when_migration_dwarfs_the_horizon(self, tiny_system):
+        tuner = AdaptiveTuner(
+            system=tiny_system, mode="nominal", horizon_ops=10
+        )
+        current = LSMTuning(30.0, 8.0, Policy.LEVELING)
+        decision = tuner.retune(
+            Workload(0.05, 0.05, 0.05, 0.85), current, resident_pages=10_000
+        )
+        assert not decision.justified
+
+    def test_robust_mode_uses_the_requested_radius(self, tiny_system):
+        tuner = AdaptiveTuner(system=tiny_system, mode="robust", rho=1.0)
+        assert tuner.tuner.rho == 1.0
+
+
+class TestControllerExecution:
+    def test_executes_operations_and_observes_them(
+        self, tiny_system, key_space
+    ):
+        config = OnlineConfig(window=200, check_interval=10_000)
+        controller = _controller(
+            tiny_system, key_space, config, Workload.uniform()
+        )
+        trace = TraceGenerator(key_space, seed=9)
+        operations = trace.operations(Workload.uniform(), 400)
+        controller.execute(operations)
+        assert controller.position == 400
+        estimate = controller.observed_workload().as_array()
+        assert np.allclose(estimate, 0.25, atol=0.15)
+
+    def test_quiet_stream_never_retunes(self, tiny_system, key_space):
+        expected = Workload.uniform()
+        config = OnlineConfig(
+            window=200, check_interval=50, min_observations=100, rho=1.0
+        )
+        controller = _controller(tiny_system, key_space, config, expected)
+        trace = TraceGenerator(key_space, seed=9)
+        controller.execute(trace.operations(expected, 1_000))
+        assert controller.events == []
+        assert controller.num_migrations == 0
+
+    def test_drift_triggers_retuning_and_migration(self, tiny_system, key_space):
+        expected = Workload(0.32, 0.32, 0.32, 0.04)
+        config = OnlineConfig(
+            window=150,
+            check_interval=32,
+            min_observations=64,
+            cooldown=256,
+            confirm_checks=2,
+            rho=0.5,
+            mode="nominal",
+            horizon_ops=50_000,
+        )
+        controller = _controller(tiny_system, key_space, config, expected)
+        initial_tuning = controller.tuning
+        before_entries = controller.tree.num_entries
+        trace = TraceGenerator(key_space, seed=9)
+        # Write-only stream: far outside the read-heavy expectation.
+        controller.execute(trace.operations(Workload(0.0, 0.0, 0.0, 1.0), 1_500))
+        assert controller.num_migrations >= 1
+        event = next(e for e in controller.events if e.migrated)
+        assert event.decision.justified
+        assert event.migration_read_pages > 0
+        assert event.migration_write_pages > 0
+        assert controller.tuning != initial_tuning
+        # No entries were lost by the rebuild (writes keep landing after it).
+        assert controller.tree.num_entries >= before_entries
+
+    def test_migration_io_is_charged_as_compaction_traffic(
+        self, tiny_system, key_space
+    ):
+        expected = Workload(0.49, 0.49, 0.01, 0.01)
+        config = OnlineConfig(
+            window=100,
+            check_interval=25,
+            min_observations=50,
+            cooldown=10_000,
+            confirm_checks=1,
+            rho=0.25,
+            mode="nominal",
+            horizon_ops=100_000,
+        )
+        controller = _controller(tiny_system, key_space, config, expected)
+        trace = TraceGenerator(key_space, seed=9)
+        # A read-only drift (range-heavy): the only compaction traffic the
+        # stream can generate is the migration itself.
+        controller.execute(trace.operations(Workload(0.0, 0.0, 1.0, 0.0), 600))
+        migrated = [e for e in controller.events if e.migrated]
+        assert migrated, "the range-only stream should have triggered a migration"
+        counters = controller.disk.counters
+        assert counters.compaction_reads == sum(
+            e.migration_read_pages for e in migrated
+        )
+        assert counters.compaction_writes == sum(
+            e.migration_write_pages for e in migrated
+        )
+
+    def test_migration_does_not_resurrect_deleted_keys(
+        self, tiny_system, key_space
+    ):
+        """A tombstone shadowing an older live version (bulk-loaded into a
+        deeper run) must survive the migration's recency-aware rebuild."""
+        config = OnlineConfig(check_interval=10**9)
+        controller = _controller(tiny_system, key_space, config, Workload.uniform())
+        victim, neighbour = int(key_space.existing[10]), int(key_space.existing[11])
+        assert controller.tree.get(victim)
+        controller.tree.delete(victim)
+        assert not controller.tree.get(victim)
+        controller._migrate(LSMTuning(4.0, 4.0, Policy.TIERING))
+        assert not controller.tree.get(victim)
+        assert controller.tree.get(neighbour)
+
+    def test_infinite_divergence_serialises_to_valid_json(self, tiny_system):
+        import json
+        import math
+
+        from repro.online.controller import RetuningEvent
+        from repro.online.retuner import AdaptiveTuner
+
+        tuner = AdaptiveTuner(system=tiny_system, mode="nominal")
+        current = LSMTuning(30.0, 8.0, Policy.LEVELING)
+        decision = tuner.retune(
+            Workload(0.0, 0.0, 0.0, 1.0), current, resident_pages=100
+        )
+        event = RetuningEvent(
+            position=10,
+            divergence=math.inf,
+            observed=Workload(0.0, 0.0, 0.0, 1.0),
+            decision=decision,
+            migrated=False,
+            migration_read_pages=0,
+            migration_write_pages=0,
+        )
+        payload = json.loads(json.dumps(event.to_dict()))
+        assert payload["divergence"] is None
+
+    def test_cooldown_spans_migrations(self, tiny_system, key_space):
+        """Back-to-back drift episodes within one cooldown yield one migration."""
+        expected = Workload(0.32, 0.32, 0.32, 0.04)
+        config = OnlineConfig(
+            window=100,
+            check_interval=25,
+            min_observations=50,
+            cooldown=100_000,
+            confirm_checks=1,
+            rho=0.25,
+            mode="nominal",
+            horizon_ops=100_000,
+        )
+        controller = _controller(tiny_system, key_space, config, expected)
+        trace = TraceGenerator(key_space, seed=9)
+        controller.execute(trace.operations(Workload(0.0, 0.0, 0.0, 1.0), 800))
+        # Drift back towards something else equally far from the recentre.
+        controller.execute(trace.operations(Workload(0.9, 0.05, 0.0, 0.05), 800))
+        assert controller.num_migrations <= 1
+
+
+class TestOnlineConfig:
+    def test_threshold_defaults_to_rho(self):
+        config = OnlineConfig(rho=0.75)
+        assert config.drift_threshold == 0.75
+
+    def test_explicit_threshold_wins(self):
+        config = OnlineConfig(rho=0.75, threshold=2.0)
+        assert config.drift_threshold == 2.0
+
+    def test_rejects_bad_check_interval(self):
+        with pytest.raises(ValueError):
+            OnlineConfig(check_interval=0)

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.lsm import LSMTuning, Policy
-from repro.storage import ExecutorConfig, WorkloadExecutor
+from repro.online import OnlineConfig
+from repro.storage import (
+    AdaptiveSequenceMeasurement,
+    ExecutorConfig,
+    WorkloadExecutor,
+)
 from repro.workloads import SessionType
 
 
@@ -84,6 +89,18 @@ class TestSequenceExecution:
         results = executor.compare(tunings, sequence)
         assert set(results) == {"nominal", "robust"}
 
+    def test_parallel_compare_matches_sequential_exactly(
+        self, executor, tunings, session_generator, w11
+    ):
+        """The multiprocessing pool must reproduce the sequential measurements
+        bit for bit: every worker rebuilds the same key space and traces."""
+        sequence = session_generator.paper_sequence(w11, workloads_per_session=1)
+        sequential = executor.compare(tunings, sequence, parallel=False)
+        parallel = executor.compare(tunings, sequence, parallel=True, processes=2)
+        assert set(parallel) == set(sequential)
+        for name in sequential:
+            assert parallel[name] == sequential[name]
+
     def test_session_series_is_reportable(self, executor, tunings, session_generator, w11):
         sequence = session_generator.paper_sequence(w11, workloads_per_session=1)
         measurement = executor.run_sequence(tunings["robust"], sequence)
@@ -113,6 +130,74 @@ class TestSequenceExecution:
         fast_measure = fast.run_sequence(tuning, sequence)
         slow_measure = slow.run_sequence(tuning, sequence)
         assert slow_measure.average_latency_us > fast_measure.average_latency_us
+
+
+class TestAdaptiveExecution:
+    @pytest.fixture()
+    def online_config(self):
+        return OnlineConfig(
+            window=150,
+            check_interval=50,
+            min_observations=100,
+            cooldown=600,
+            confirm_checks=2,
+            rho=0.5,
+            mode="nominal",
+            horizon_ops=100_000,
+        )
+
+    def test_adaptive_sequence_measures_every_session(
+        self, executor, tunings, session_generator, w11, online_config
+    ):
+        sequence = session_generator.paper_sequence(w11, workloads_per_session=1)
+        measurement = executor.run_sequence_adaptive(
+            tunings["nominal"], sequence, online=online_config
+        )
+        assert isinstance(measurement, AdaptiveSequenceMeasurement)
+        assert len(measurement.sessions) == len(sequence)
+        assert measurement.initial_tuning == measurement.tuning
+        assert measurement.average_ios_per_query >= 0.0
+
+    def test_adaptive_migration_io_lands_in_session_measurements(
+        self, executor, tunings, session_generator, w11, online_config
+    ):
+        """Migration pages must show up as compaction traffic in the very
+        sessions where the migrations happened — adaptivity is not free."""
+        sequence = session_generator.paper_sequence(w11, workloads_per_session=1)
+        measurement = executor.run_sequence_adaptive(
+            tunings["nominal"], sequence, online=online_config
+        )
+        if measurement.num_migrations == 0:
+            pytest.skip("no drift fired for this sequence/seed")
+        total_compaction = sum(
+            s.compaction_reads + s.compaction_writes for s in measurement.sessions
+        )
+        assert total_compaction >= measurement.migration_pages
+
+    def test_compare_adaptive_adds_the_adaptive_entry(
+        self, executor, tunings, session_generator, w11, online_config
+    ):
+        sequence = session_generator.paper_sequence(w11, workloads_per_session=1)
+        results = executor.compare_adaptive(
+            tunings, sequence, adaptive_from="robust", online=online_config
+        )
+        assert set(results) == {"nominal", "robust", "adaptive"}
+        assert results["adaptive"].initial_tuning == tunings["robust"].rounded()
+
+    def test_compare_adaptive_rejects_unknown_start(
+        self, executor, tunings, session_generator, w11
+    ):
+        sequence = session_generator.paper_sequence(w11, workloads_per_session=1)
+        with pytest.raises(KeyError):
+            executor.compare_adaptive(tunings, sequence, adaptive_from="oracle")
+
+    def test_compare_adaptive_rejects_reserved_name(
+        self, executor, tunings, session_generator, w11
+    ):
+        sequence = session_generator.paper_sequence(w11, workloads_per_session=1)
+        clashing = dict(tunings, adaptive=tunings["nominal"])
+        with pytest.raises(ValueError):
+            executor.compare_adaptive(clashing, sequence, adaptive_from="nominal")
 
 
 class TestLazyLevelingExecution:

@@ -115,6 +115,73 @@ class TestPolicyFlag:
         assert payload["policies"] == ["leveling", "tiering"]
 
 
+def _run_main(capsys, argv):
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+#: Tiny, fast settings shared by the online-command tests.
+_ONLINE_SMOKE_ARGS = [
+    "online",
+    "--num-entries", "3000",
+    "--queries-per-workload", "150",
+    "--sessions-per-phase", "2",
+    "--window", "200",
+    "--check-interval", "50",
+    "--min-observations", "100",
+    "--cooldown", "400",
+    "--confirm-checks", "2",
+    "--seed", "7",
+]
+
+
+class TestOnlineCommand:
+    def test_online_defaults_parse(self):
+        args = build_parser().parse_args(["online"])
+        assert args.expected_index == 11
+        assert args.phases == ["read", "write"]
+        assert args.mode == "nominal"
+        assert args.threshold is None
+
+    def test_online_rejects_unknown_phase(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["online", "--phases", "compaction"])
+
+    def test_online_runs_a_tiny_drifting_sequence(self, capsys):
+        out = _run_main(capsys, _ONLINE_SMOKE_ARGS)
+        assert "nominal" in out and "adaptive" in out
+        assert "phase-read" in out and "phase-write" in out
+        assert "mean I/Os per query" in out
+
+    def test_online_emits_machine_readable_json(self, capsys):
+        payload = json.loads(_run_main(capsys, _ONLINE_SMOKE_ARGS + ["--json"]))
+        assert set(payload) == {
+            "expected_workload", "rho", "tunings", "final_tuning",
+            "sessions", "events", "summary",
+        }
+        assert {"nominal", "robust", "phase-read", "phase-write"} <= set(
+            payload["tunings"]
+        )
+        for session in payload["sessions"]:
+            assert "adaptive" in session["system_ios"]
+
+
+class TestSeedFlag:
+    def test_compare_same_seed_is_reproducible(self, capsys):
+        argv = [
+            "compare", "--expected-index", "11", "--rho", "0.5",
+            "--num-entries", "3000", "--seed", "123", "--json",
+        ]
+        first = _run_main(capsys, argv)
+        second = _run_main(capsys, argv)
+        assert first == second
+
+    def test_online_same_seed_is_reproducible(self, capsys):
+        first = _run_main(capsys, _ONLINE_SMOKE_ARGS + ["--json"])
+        second = _run_main(capsys, _ONLINE_SMOKE_ARGS + ["--json"])
+        assert first == second
+
+
 class TestCompareJson:
     def test_compare_emits_machine_readable_json(self, capsys):
         code = main(

@@ -17,6 +17,7 @@ from .model_eval import (
     figure6_throughput_histograms,
     figure6_throughput_range,
     figure7_contour,
+    policy_frontier,
     policy_table,
     section84_win_rate,
     tuning_table,
@@ -56,6 +57,7 @@ __all__ = [
     "figure7_contour",
     "format_adaptive_comparison",
     "format_comparison",
+    "policy_frontier",
     "policy_table",
     "scaling_experiment",
     "section84_win_rate",

@@ -402,6 +402,55 @@ def policy_table(
     return rows
 
 
+def policy_frontier(
+    workloads: Sequence[tuple[str, Workload]],
+    system: SystemConfig | None = None,
+    policies: Sequence[Policy] | None = None,
+    ratio_candidates: Sequence[float] | None = None,
+    fluid_k_grid: Sequence[float] | None = None,
+    fluid_z_grid: Sequence[float] | None = None,
+    starts_per_policy: int = 2,
+) -> list[dict[str, str | float]]:
+    """Best nominal tuning of each named workload under every policy alone.
+
+    The generalisation of :func:`policy_table` to arbitrary (possibly
+    long-range-carrying) workloads: one row per workload with, per policy,
+    the optimal tuning and its expected cost, plus the winning policy.  For
+    ``Policy.FLUID`` the tuner selects the run bounds ``K``/``Z`` itself, so
+    the table shows where in the workload space the hybrids pay off —
+    Dostoevsky's frontier, evaluated under this model's short/long range
+    split.
+    """
+    if system is None:
+        system = SystemConfig()
+    if policies is None:
+        policies = list(Policy)
+    rows: list[dict[str, str | float]] = []
+    for name, workload in workloads:
+        row: dict[str, str | float] = {
+            "workload": name,
+            "composition": workload.describe(),
+        }
+        best_policy, best_cost = None, np.inf
+        for policy in policies:
+            tuner = NominalTuner(
+                system=system,
+                starts_per_policy=starts_per_policy,
+                policies=(policy,),
+                ratio_candidates=ratio_candidates,
+                fluid_k_grid=fluid_k_grid,
+                fluid_z_grid=fluid_z_grid,
+            )
+            result = tuner.tune(workload)
+            row[f"{policy.value}_tuning"] = result.tuning.describe()
+            row[f"{policy.value}_cost"] = result.objective
+            if result.objective < best_cost:
+                best_policy, best_cost = policy, result.objective
+        row["best_policy"] = best_policy.value if best_policy is not None else ""
+        rows.append(row)
+    return rows
+
+
 def section84_win_rate(
     catalog: TuningCatalog,
     benchmark: UncertaintyBenchmark,

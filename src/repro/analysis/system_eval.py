@@ -160,13 +160,23 @@ class SystemExperiment:
         include_writes: bool = True,
         workloads_per_session: int = 2,
     ) -> SequenceComparison:
-        """Execute the six-session comparison of Figures 8–18."""
+        """Execute the six-session comparison of Figures 8–18.
+
+        When ``expected`` carries a long-range fraction, the same split is
+        applied to every session workload: the benchmark set is sampled over
+        the four query types only, so the short/long range regime is a
+        property of the experiment, not of the sampling.
+        """
         generator = SessionGenerator(self.benchmark, seed=self.seed)
         sequence = generator.paper_sequence(
             expected,
             include_writes=include_writes,
             workloads_per_session=workloads_per_session,
         )
+        if expected.long_range_fraction > 0.0:
+            sequence = sequence.with_long_range_fraction(
+                expected.long_range_fraction
+            )
         tunings = self.tunings_for(expected, rho)
         return self._compare(expected, rho, sequence, tunings)
 

@@ -6,9 +6,15 @@ Recommend a tuning for an expected workload::
 
     repro-endure tune --workload 0.33 0.33 0.33 0.01 --rho 1.0
 
-Restrict (or widen) the compaction-policy search space::
+Restrict (or widen) the compaction-policy search space — ``fluid`` makes
+the tuner optimise Dostoevsky's per-level run bounds (K, Z) alongside
+(T, h)::
 
-    repro-endure tune --workload 0.25 0.25 0.25 0.25 --policy lazy-leveling
+    repro-endure tune --workload 0.25 0.25 0.25 0.25 --policy fluid
+
+Mixed short/long range workloads (30% of range lookups are long scans)::
+
+    repro-endure tune --workload 0.1 0.2 0.3 0.4 --long-range-fraction 0.3
 
 Compare nominal and robust tunings on the simulator::
 
@@ -24,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from typing import Sequence
 
 from .analysis.model_eval import TuningCatalog, tuning_table
@@ -59,11 +66,16 @@ def _policies_from_arg(value: str) -> tuple[Policy, ...]:
 
 def _cmd_tune(args: argparse.Namespace) -> int:
     workload = _workload_from_args(args.workload)
+    if args.long_range_fraction > 0:
+        workload = workload.with_long_range_fraction(args.long_range_fraction)
     system = SystemConfig()
     if args.num_entries is not None:
         system = system.scaled(args.num_entries)
+    if args.long_range_selectivity is not None:
+        system = replace(system, long_range_selectivity=args.long_range_selectivity)
     policies = _policies_from_arg(args.policy)
-    nominal = NominalTuner(system=system, policies=policies).tune(workload)
+    seed = args.seed if args.seed is not None else 0
+    nominal = NominalTuner(system=system, policies=policies, seed=seed).tune(workload)
     output = {
         "workload": workload.as_dict(),
         "policies": [p.value for p in policies],
@@ -71,9 +83,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         "nominal": nominal.tuning.to_dict(),
     }
     if args.rho > 0:
-        robust = RobustTuner(rho=args.rho, system=system, policies=policies).tune(
-            workload
-        )
+        robust = RobustTuner(
+            rho=args.rho, system=system, policies=policies, seed=seed
+        ).tune(workload)
         output["robust"] = robust.tuning.to_dict()
         output["rho"] = args.rho
     print(json.dumps(output, indent=2))
@@ -106,9 +118,11 @@ def _executor_config(args: argparse.Namespace, **overrides) -> ExecutorConfig:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     expected = expected_workloads()[args.expected_index].workload
+    if args.long_range_fraction > 0:
+        expected = expected.with_long_range_fraction(args.long_range_fraction)
     experiment = SystemExperiment(
         system=simulator_system(num_entries=args.num_entries),
-        executor_config=_executor_config(args),
+        executor_config=_executor_config(args, long_scan_keys=args.long_scan_keys),
         policies=_policies_from_arg(args.policy),
         **({"seed": args.seed} if args.seed is not None else {}),
     )
@@ -188,6 +202,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="scale the system to this many entries (memory budget scales along)",
     )
+    tune.add_argument(
+        "--long-range-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of the range lookups that are long (scan-dominated); "
+        "0 reproduces the paper's short-range-only model",
+    )
+    tune.add_argument(
+        "--long-range-selectivity",
+        type=float,
+        default=None,
+        help="selectivity of long range queries (fraction of all entries; "
+        "default: the system's built-in 0.001)",
+    )
+    tune.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed of the tuners' polish starting points "
+        "(same seed -> byte-identical output)",
+    )
     tune.set_defaults(func=_cmd_tune)
 
     workloads = subparsers.add_parser("workloads", help="print Table 2 workloads")
@@ -208,6 +243,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=_POLICY_CHOICES,
         default="classic",
         help="compaction policies the tuners may deploy on the simulator",
+    )
+    compare.add_argument(
+        "--long-range-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of range lookups issued (and modelled) as long scans",
+    )
+    compare.add_argument(
+        "--long-scan-keys",
+        type=int,
+        default=512,
+        help="keys covered by one long range scan on the simulator",
     )
     compare.add_argument(
         "--seed",

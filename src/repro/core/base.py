@@ -29,7 +29,7 @@ import numpy as np
 from scipy import optimize
 
 from ..lsm.cost_model import LSMCostModel
-from ..lsm.policy import CLASSIC_POLICIES, Policy
+from ..lsm.policy import CLASSIC_POLICIES, Policy, PolicySpec, expand_policy_specs
 from ..lsm.system import SystemConfig
 from ..lsm.tuning import LSMTuning
 from ..workloads.workload import Workload
@@ -67,7 +67,16 @@ class BaseTuner(abc.ABC):
     policies:
         Compaction policies to consider (the paper's classical pair —
         leveling and tiering — by default; pass
-        :data:`~repro.lsm.policy.ALL_POLICIES` to include lazy leveling).
+        :data:`~repro.lsm.policy.ALL_POLICIES` to include the hybrids).
+        Entries may be enum members, strings, or explicit
+        :class:`~repro.lsm.policy.PolicySpec` instances pinning fluid
+        ``K``/``Z`` run bounds; ``Policy.FLUID`` expands into the default
+        ``(K, Z)`` candidate grid, so the sweep optimises the fluid bounds
+        alongside ``(T, h, π)``.
+    fluid_k_grid / fluid_z_grid:
+        Fluid run-bound candidates used when ``Policy.FLUID`` is expanded
+        (defaults: :data:`~repro.lsm.policy.DEFAULT_FLUID_K_GRID` /
+        :data:`~repro.lsm.policy.DEFAULT_FLUID_Z_GRID`).
     ratio_candidates:
         Candidate size ratios swept by the outer loop; defaults to all
         integers in ``[2, max_size_ratio]``.
@@ -94,19 +103,29 @@ class BaseTuner(abc.ABC):
     def __init__(
         self,
         system: SystemConfig | None = None,
-        policies: Sequence[Policy] = CLASSIC_POLICIES,
+        policies: Sequence[Policy | str | PolicySpec] = CLASSIC_POLICIES,
         ratio_candidates: Sequence[float] | None = None,
         starts_per_policy: int = 2,
         polish: bool = True,
         vectorized: bool = True,
         batched_polish: bool = True,
+        fluid_k_grid: Sequence[float] | None = None,
+        fluid_z_grid: Sequence[float] | None = None,
         seed: int = 0,
     ) -> None:
         self.system = system if system is not None else SystemConfig()
         self.cost_model = LSMCostModel(self.system)
-        self.policies = tuple(Policy.from_value(p) for p in policies)
-        if not self.policies:
-            raise ValueError("at least one compaction policy is required")
+        # The concrete candidates the sweeps iterate: one spec per classical
+        # policy, a (K, Z) grid of specs for Policy.FLUID.  An empty policy
+        # list is rejected by the expansion itself.
+        self.policy_specs = expand_policy_specs(
+            policies,
+            max_size_ratio=self.system.max_size_ratio,
+            k_grid=fluid_k_grid,
+            z_grid=fluid_z_grid,
+        )
+        # Enum-level view kept for introspection and backwards compatibility.
+        self.policies = tuple(dict.fromkeys(spec.policy for spec in self.policy_specs))
         if starts_per_policy <= 0:
             raise ValueError("starts_per_policy must be positive")
         self.starts_per_policy = starts_per_policy
@@ -125,7 +144,7 @@ class BaseTuner(abc.ABC):
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def _optimize_inner(
-        self, size_ratio: float, policy: Policy, workload: Workload
+        self, size_ratio: float, policy: PolicySpec, workload: Workload
     ) -> tuple[np.ndarray, float]:
         """Optimise the non-ratio design variables at a fixed size ratio.
 
@@ -136,7 +155,7 @@ class BaseTuner(abc.ABC):
 
     @abc.abstractmethod
     def _objective(
-        self, size_ratio: float, inner: np.ndarray, policy: Policy, workload: Workload
+        self, size_ratio: float, inner: np.ndarray, policy: PolicySpec, workload: Workload
     ) -> float:
         """Objective value at one fully specified design point (for the polish)."""
 
@@ -149,7 +168,7 @@ class BaseTuner(abc.ABC):
         self,
         size_ratio: float,
         inner: np.ndarray,
-        policy: Policy,
+        policy: PolicySpec,
         workload: Workload,
         objective: float,
         solver_info: dict,
@@ -169,13 +188,13 @@ class BaseTuner(abc.ABC):
 
     @abc.abstractmethod
     def _value_at(
-        self, size_ratio: float, bits: float, policy: Policy, workload: Workload
+        self, size_ratio: float, bits: float, policy: PolicySpec, workload: Workload
     ) -> float:
         """Scalar objective at one ``(T, h)`` point (for the Brent refine)."""
 
     @abc.abstractmethod
     def _inner_from_design(
-        self, size_ratio: float, bits: float, policy: Policy, workload: Workload
+        self, size_ratio: float, bits: float, policy: PolicySpec, workload: Workload
     ) -> np.ndarray:
         """Recover the inner-variable vector of a swept ``(T, h)`` design."""
 
@@ -200,14 +219,24 @@ class BaseTuner(abc.ABC):
         lo, hi = self.bits_per_entry_bounds
         return np.linspace(lo, hi, grid_points)
 
-    def _tuning_from(self, size_ratio: float, bits: float, policy: Policy) -> LSMTuning:
-        """Build a tuning, clamping the design into the legal box."""
+    def _tuning_from(
+        self, size_ratio: float, bits: float, policy: Policy | PolicySpec
+    ) -> LSMTuning:
+        """Build a tuning, clamping the design into the legal box.
+
+        ``policy`` may be a bare enum member or a
+        :class:`~repro.lsm.policy.PolicySpec`; fluid specs carry their
+        ``K``/``Z`` run bounds onto the tuning.
+        """
+        spec = PolicySpec.of(policy)
         t_lo, t_hi = self.size_ratio_bounds
         h_lo, h_hi = self.bits_per_entry_bounds
         return LSMTuning(
             size_ratio=float(np.clip(size_ratio, t_lo, t_hi)),
             bits_per_entry=float(np.clip(bits, h_lo, h_hi)),
-            policy=policy,
+            policy=spec.policy,
+            k_bound=spec.k_bound,
+            z_bound=spec.z_bound,
         )
 
     def _minimize_scalar(self, objective, bounds: tuple[float, float]):
@@ -267,7 +296,7 @@ class BaseTuner(abc.ABC):
             options={"maxiter": 200, "ftol": 1e-10},
         )
 
-    def _polish_jacobian(self, policy: Policy, workload: Workload):
+    def _polish_jacobian(self, policy: PolicySpec, workload: Workload):
         """Gradient callable of the polish objective, or ``None``.
 
         Returning ``None`` (the default) lets SLSQP fall back to its own
@@ -283,15 +312,17 @@ class BaseTuner(abc.ABC):
     # ------------------------------------------------------------------
     def _sweep_scalar(
         self, workload: Workload
-    ) -> tuple[float | None, np.ndarray | None, Policy | None, float, dict[str, float]]:
-        """Reference sweep: one Brent inner solve per (policy, size ratio)."""
+    ) -> tuple[
+        float | None, np.ndarray | None, PolicySpec | None, float, dict[str, float]
+    ]:
+        """Reference sweep: one Brent inner solve per (policy spec, size ratio)."""
         best_value = np.inf
         best_ratio: float | None = None
         best_inner: np.ndarray | None = None
-        best_policy: Policy | None = None
+        best_policy: PolicySpec | None = None
         per_policy: dict[str, float] = {}
 
-        for policy in self.policies:
+        for policy in self.policy_specs:
             policy_best = np.inf
             for size_ratio in self.ratio_candidates:
                 inner, value = self._optimize_inner(float(size_ratio), policy, workload)
@@ -304,12 +335,14 @@ class BaseTuner(abc.ABC):
                     best_ratio = float(size_ratio)
                     best_inner = np.asarray(inner, dtype=float)
                     best_policy = policy
-            per_policy[policy.value] = policy_best
+            per_policy[policy.name] = policy_best
         return best_ratio, best_inner, best_policy, best_value, per_policy
 
     def _sweep_vectorized(
         self, workload: Workload
-    ) -> tuple[float | None, np.ndarray | None, Policy | None, float, dict[str, float]]:
+    ) -> tuple[
+        float | None, np.ndarray | None, PolicySpec | None, float, dict[str, float]
+    ]:
         """Batched sweep: one cost-matrix pass per policy + pruned refinement.
 
         The full ``(T, h)`` grid is evaluated in a single broadcasted NumPy
@@ -321,13 +354,16 @@ class BaseTuner(abc.ABC):
         best_value = np.inf
         best_ratio: float | None = None
         best_bits: float | None = None
-        best_policy: Policy | None = None
+        best_policy: PolicySpec | None = None
         per_policy: dict[str, float] = {}
         bits_grid = self._bits_grid()
 
-        for policy in self.policies:
+        for policy in self.policy_specs:
             costs = self.cost_model.cost_matrix(
-                self.ratio_candidates, bits_grid, policy
+                self.ratio_candidates,
+                bits_grid,
+                policy,
+                long_range_fraction=workload.long_range_fraction,
             )
             objective = np.asarray(
                 self._objective_from_costs(costs, workload), dtype=float
@@ -337,7 +373,7 @@ class BaseTuner(abc.ABC):
             row_values = objective[np.arange(objective.shape[0]), row_best]
             policy_best = float(np.min(row_values))
             if not np.isfinite(policy_best):
-                per_policy[policy.value] = policy_best
+                per_policy[policy.name] = policy_best
                 continue
             threshold = policy_best * _REFINE_MARGIN
             for row in np.flatnonzero(row_values <= threshold):
@@ -357,7 +393,7 @@ class BaseTuner(abc.ABC):
                     best_ratio = size_ratio
                     best_bits = bits
                     best_policy = policy
-            per_policy[policy.value] = policy_best
+            per_policy[policy.name] = policy_best
 
         best_inner: np.ndarray | None = None
         if best_policy is not None:
@@ -391,7 +427,7 @@ class BaseTuner(abc.ABC):
         self,
         size_ratio: float,
         inner: np.ndarray,
-        policy: Policy,
+        policy: PolicySpec,
         workload: Workload,
         current_value: float,
     ) -> tuple[float, np.ndarray, float]:

@@ -20,7 +20,7 @@ from typing import Sequence
 import numpy as np
 
 from ..lsm.cost_model import LSMCostModel
-from ..lsm.policy import CLASSIC_POLICIES, Policy
+from ..lsm.policy import CLASSIC_POLICIES, Policy, PolicySpec, expand_policy_specs
 from ..lsm.system import SystemConfig
 from ..lsm.tuning import LSMTuning
 from ..workloads.workload import Workload
@@ -44,8 +44,9 @@ class GridTuner:
         Uncertainty radius; 0 reproduces the nominal objective.
     policies:
         Compaction policies to consider (the paper's classical pair by
-        default; pass :data:`~repro.lsm.policy.ALL_POLICIES` to include
-        lazy leveling).
+        default; pass :data:`~repro.lsm.policy.ALL_POLICIES` to include the
+        hybrids).  ``Policy.FLUID`` expands into its default ``(K, Z)``
+        candidate grid, exactly like the continuous tuners.
     """
 
     def __init__(
@@ -54,7 +55,7 @@ class GridTuner:
         size_ratios: np.ndarray | None = None,
         bits_grid_points: int = 33,
         rho: float = 0.0,
-        policies: Sequence[Policy] = CLASSIC_POLICIES,
+        policies: Sequence[Policy | str | PolicySpec] = CLASSIC_POLICIES,
     ) -> None:
         if rho < 0:
             raise ValueError("rho must be non-negative")
@@ -63,9 +64,11 @@ class GridTuner:
         self.system = system if system is not None else SystemConfig()
         self.cost_model = LSMCostModel(self.system)
         self.rho = rho
-        self.policies = tuple(Policy.from_value(p) for p in policies)
-        if not self.policies:
-            raise ValueError("at least one compaction policy is required")
+        # An empty policy list is rejected by the expansion itself.
+        self.policy_specs = expand_policy_specs(
+            policies, max_size_ratio=self.system.max_size_ratio
+        )
+        self.policies = tuple(dict.fromkeys(spec.policy for spec in self.policy_specs))
         if size_ratios is None:
             upper = int(min(self.system.max_size_ratio, 100.0))
             size_ratios = np.arange(2, upper + 1, dtype=float)
@@ -79,7 +82,11 @@ class GridTuner:
     def _objective_grid(self, workload: Workload, costs: np.ndarray) -> np.ndarray:
         """Objective of every grid cell, given its pre-computed cost vectors."""
         if self.rho == 0.0:
-            return costs @ workload.as_array()
+            # Support-restricted dot mirrors the continuous tuners' 0 * inf
+            # guard for zero-weight query types.
+            weights = workload.as_array()
+            support = weights > 0.0
+            return costs[..., support] @ weights[support]
         region = UncertaintyRegion(expected=workload, rho=self.rho)
         values = np.empty(costs.shape[:-1], dtype=float)
         for index in np.ndindex(values.shape):
@@ -91,9 +98,12 @@ class GridTuner:
         best_tuning: LSMTuning | None = None
         best_value = np.inf
         evaluated = 0
-        for policy in self.policies:
+        for spec in self.policy_specs:
             costs = self.cost_model.cost_matrix(
-                self.size_ratios, self.bits_grid, policy
+                self.size_ratios,
+                self.bits_grid,
+                spec,
+                long_range_fraction=workload.long_range_fraction,
             )
             values = self._objective_grid(workload, costs)
             evaluated += values.size
@@ -104,7 +114,9 @@ class GridTuner:
                 best_tuning = LSMTuning(
                     size_ratio=float(self.size_ratios[row]),
                     bits_per_entry=float(self.bits_grid[col]),
-                    policy=policy,
+                    policy=spec.policy,
+                    k_bound=spec.k_bound,
+                    z_bound=spec.z_bound,
                 )
         if best_tuning is None or not np.isfinite(best_value):
             raise RuntimeError("grid search evaluated no configurations")

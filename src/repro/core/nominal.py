@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..lsm.policy import Policy
+from ..lsm.policy import PolicySpec
 from ..workloads.workload import Workload
 from .base import BaseTuner
 from .results import TuningResult
@@ -21,7 +21,9 @@ class NominalTuner(BaseTuner):
     #: Inner variable layout at a fixed size ratio: ``[bits_per_entry]``.
     INNER_DIMENSION = 1
 
-    def _cost(self, size_ratio: float, bits: float, policy: Policy, workload: Workload) -> float:
+    def _cost(
+        self, size_ratio: float, bits: float, policy: PolicySpec, workload: Workload
+    ) -> float:
         try:
             tuning = self._tuning_from(size_ratio, bits, policy)
             return self.cost_model.workload_cost(workload, tuning)
@@ -29,22 +31,26 @@ class NominalTuner(BaseTuner):
             return float("inf")
 
     def _value_at(
-        self, size_ratio: float, bits: float, policy: Policy, workload: Workload
+        self, size_ratio: float, bits: float, policy: PolicySpec, workload: Workload
     ) -> float:
         return self._cost(size_ratio, bits, policy, workload)
 
     def _objective_from_costs(
         self, cost_matrix: np.ndarray, workload: Workload
     ) -> np.ndarray:
-        return cost_matrix @ workload.as_array()
+        # Restrict the dot product to the workload's support so a degenerate
+        # cost of a zero-weight query type cannot poison the sweep (0 · inf).
+        weights = workload.as_array()
+        support = weights > 0.0
+        return cost_matrix[..., support] @ weights[support]
 
     def _inner_from_design(
-        self, size_ratio: float, bits: float, policy: Policy, workload: Workload
+        self, size_ratio: float, bits: float, policy: PolicySpec, workload: Workload
     ) -> np.ndarray:
         return np.array([bits])
 
     def _optimize_inner(
-        self, size_ratio: float, policy: Policy, workload: Workload
+        self, size_ratio: float, policy: PolicySpec, workload: Workload
     ) -> tuple[np.ndarray, float]:
         bits, value = self._grid_then_refine(
             lambda bits: self._cost(size_ratio, float(bits), policy, workload),
@@ -53,7 +59,7 @@ class NominalTuner(BaseTuner):
         return np.array([bits]), value
 
     def _objective(
-        self, size_ratio: float, inner: np.ndarray, policy: Policy, workload: Workload
+        self, size_ratio: float, inner: np.ndarray, policy: PolicySpec, workload: Workload
     ) -> float:
         return self._cost(size_ratio, float(inner[0]), policy, workload)
 
@@ -64,7 +70,7 @@ class NominalTuner(BaseTuner):
         self,
         size_ratio: float,
         inner: np.ndarray,
-        policy: Policy,
+        policy: PolicySpec,
         workload: Workload,
         objective: float,
         solver_info: dict,

@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.special import logsumexp
 
-from ..lsm.policy import Policy
+from ..lsm.policy import PolicySpec
 from ..workloads.workload import Workload
 from .base import BaseTuner
 from .nominal import NominalTuner
@@ -98,8 +98,11 @@ class RobustTuner(BaseTuner):
         the tuner's whole ``(T, h)`` candidate grid.
         """
         weights = workload.as_array()
+        support = weights > 0.0
         if self.rho == 0.0:
-            return cost_matrix @ weights
+            # Support-restricted dot: a zero-weight query type with a
+            # degenerate cost must not poison the batch (0 * inf guard).
+            return cost_matrix[..., support] @ weights[support]
         log_grid = np.linspace(*_LOG_LAMBDA_BOUNDS, 64)
         values = self._dual_values_on_grid(cost_matrix, weights, np.exp(log_grid))
         best = np.argmin(values, axis=-1)
@@ -121,8 +124,9 @@ class RobustTuner(BaseTuner):
         degenerates to the nominal expected cost (``λ → ∞``).
         """
         weights = workload.as_array()
+        support = weights > 0.0
         if self.rho == 0.0:
-            return float(np.dot(weights, cost_vector)), float("inf")
+            return float(cost_vector[support] @ weights[support]), float("inf")
         log_grid = np.linspace(*_LOG_LAMBDA_BOUNDS, 64)
         values = self._dual_values_on_grid(cost_vector, weights, np.exp(log_grid))
         best = int(np.argmin(values))
@@ -141,27 +145,31 @@ class RobustTuner(BaseTuner):
         return self._worst_case_batch(cost_matrix, workload)
 
     def _value_at(
-        self, size_ratio: float, bits: float, policy: Policy, workload: Workload
+        self, size_ratio: float, bits: float, policy: PolicySpec, workload: Workload
     ) -> float:
         try:
             tuning = self._tuning_from(size_ratio, bits, policy)
-            cost_vector = self.cost_model.cost_vector(tuning)
+            cost_vector = self.cost_model.cost_vector(
+                tuning, workload.long_range_fraction
+            )
         except (ValueError, OverflowError):
             return float("inf")
         return self._worst_case_of_cost(cost_vector, workload)[0]
 
     def _inner_from_design(
-        self, size_ratio: float, bits: float, policy: Policy, workload: Workload
+        self, size_ratio: float, bits: float, policy: PolicySpec, workload: Workload
     ) -> np.ndarray:
         tuning = self._tuning_from(size_ratio, bits, policy)
-        _, lam = self._worst_case_of_cost(self.cost_model.cost_vector(tuning), workload)
+        _, lam = self._worst_case_of_cost(
+            self.cost_model.cost_vector(tuning, workload.long_range_fraction), workload
+        )
         return np.array([bits, min(lam, _LAMBDA_BOUNDS[1])])
 
     # ------------------------------------------------------------------
     # Inner optimisation at a fixed size ratio
     # ------------------------------------------------------------------
     def _optimize_inner(
-        self, size_ratio: float, policy: Policy, workload: Workload
+        self, size_ratio: float, policy: PolicySpec, workload: Workload
     ) -> tuple[np.ndarray, float]:
         bits, value = self._grid_then_refine(
             lambda b: self._value_at(size_ratio, float(b), policy, workload),
@@ -172,7 +180,7 @@ class RobustTuner(BaseTuner):
     # ------------------------------------------------------------------
     # Batched finite differences (used by the SLSQP polish)
     # ------------------------------------------------------------------
-    def _polish_jacobian(self, policy: Policy, workload: Workload):
+    def _polish_jacobian(self, policy: PolicySpec, workload: Workload):
         """Batched finite-difference gradient of the polish objective.
 
         SLSQP's own finite differences evaluate the scalar objective once per
@@ -194,7 +202,7 @@ class RobustTuner(BaseTuner):
         return jacobian
 
     def _batched_polish_gradient(
-        self, design: np.ndarray, policy: Policy, workload: Workload
+        self, design: np.ndarray, policy: PolicySpec, workload: Workload
     ) -> np.ndarray:
         size_ratio, bits, lam = design
         t_lo, t_hi = self.size_ratio_bounds
@@ -220,7 +228,10 @@ class RobustTuner(BaseTuner):
 
         try:
             costs = self.cost_model.cost_matrix(
-                [size_ratio, size_ratio + dt], [bits, bits + dh], policy
+                [size_ratio, size_ratio + dt],
+                [bits, bits + dh],
+                policy,
+                long_range_fraction=workload.long_range_fraction,
             )
         except (ValueError, OverflowError):
             # Degenerate corner of the design box: let the value at the
@@ -228,10 +239,11 @@ class RobustTuner(BaseTuner):
             return np.zeros(3)
 
         weights = workload.as_array()
+        support = weights > 0.0
         if self.rho == 0.0:
-            base = float(costs[0, 0] @ weights)
-            grad_t = (float(costs[1, 0] @ weights) - base) / dt
-            grad_h = (float(costs[0, 1] @ weights) - base) / dh
+            base = float(costs[0, 0, support] @ weights[support])
+            grad_t = (float(costs[1, 0, support] @ weights[support]) - base) / dt
+            grad_h = (float(costs[0, 1, support] @ weights[support]) - base) / dh
             return np.array([grad_t, grad_h, 0.0])
         base = self.dual_value(costs[0, 0], workload, lam)
         grad_t = (self.dual_value(costs[1, 0], workload, lam) - base) / dt
@@ -243,16 +255,20 @@ class RobustTuner(BaseTuner):
     # Full-design objective (used by the SLSQP polish)
     # ------------------------------------------------------------------
     def _objective(
-        self, size_ratio: float, inner: np.ndarray, policy: Policy, workload: Workload
+        self, size_ratio: float, inner: np.ndarray, policy: PolicySpec, workload: Workload
     ) -> float:
         bits, lam = float(inner[0]), float(inner[1])
         try:
             tuning = self._tuning_from(size_ratio, bits, policy)
-            cost_vector = self.cost_model.cost_vector(tuning)
+            cost_vector = self.cost_model.cost_vector(
+                tuning, workload.long_range_fraction
+            )
         except (ValueError, OverflowError):
             return float("inf")
         if self.rho == 0.0:
-            return float(np.dot(workload.as_array(), cost_vector))
+            weights = workload.as_array()
+            support = weights > 0.0
+            return float(cost_vector[support] @ weights[support])
         return self.dual_value(cost_vector, workload, lam)
 
     def _inner_bounds(self) -> list[tuple[float, float]]:
@@ -262,7 +278,7 @@ class RobustTuner(BaseTuner):
         self,
         size_ratio: float,
         inner: np.ndarray,
-        policy: Policy,
+        policy: PolicySpec,
         workload: Workload,
         objective: float,
         solver_info: dict,
@@ -275,7 +291,9 @@ class RobustTuner(BaseTuner):
         # is the quantity the problem statement optimises and, by strong
         # duality, matches the dual objective at the optimum.
         region = UncertaintyRegion(expected=workload, rho=self.rho)
-        worst_case = region.worst_case_cost(self.cost_model.cost_vector(tuning))
+        worst_case = region.worst_case_cost(
+            self.cost_model.cost_vector(tuning, workload.long_range_fraction)
+        )
         return TuningResult(
             tuning=tuning,
             objective=worst_case,

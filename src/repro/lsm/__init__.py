@@ -11,11 +11,17 @@ from .cost_model import COST_COMPONENTS, CostBreakdown, LSMCostModel
 from .policy import (
     ALL_POLICIES,
     CLASSIC_POLICIES,
+    DEFAULT_FLUID_K_GRID,
+    DEFAULT_FLUID_Z_GRID,
     CompactionPolicy,
+    FluidPolicy,
     LazyLevelingPolicy,
     LevelingPolicy,
+    OneLevelingPolicy,
     Policy,
+    PolicySpec,
     TieringPolicy,
+    expand_policy_specs,
     get_policy,
 )
 from .system import DEFAULT_SYSTEM, SystemConfig, simulator_system
@@ -27,14 +33,20 @@ __all__ = [
     "COST_COMPONENTS",
     "CompactionPolicy",
     "CostBreakdown",
+    "DEFAULT_FLUID_K_GRID",
+    "DEFAULT_FLUID_Z_GRID",
     "DEFAULT_SYSTEM",
+    "FluidPolicy",
     "LSMCostModel",
     "LSMTuning",
     "LazyLevelingPolicy",
     "LevelingPolicy",
+    "OneLevelingPolicy",
     "Policy",
+    "PolicySpec",
     "SystemConfig",
     "TieringPolicy",
+    "expand_policy_specs",
     "get_policy",
     "monkey_bits_per_level",
     "monkey_false_positive_rates",

@@ -5,12 +5,29 @@ I/O operations of the four basic query types:
 
 * ``Z0(Φ)`` — point lookup with an empty result (Equation 12),
 * ``Z1(Φ)`` — point lookup with a non-empty result (Equation 14),
-* ``Q(Φ)``  — range lookup (Equation 15),
+* ``Q(Φ)``  — range lookup (Equation 15, split into short and long ranges),
 * ``W(Φ)``  — write, amortised over the compactions it triggers (Equation 16).
 
 Given a workload ``w = (z0, z1, q, w)`` the expected per-query cost is the
 dot product ``C(w, Φ) = w · c(Φ)`` (Equation 2), and the throughput used in
 the evaluation is its reciprocal.
+
+Following Dostoevsky §4 the range cost distinguishes two regimes:
+
+* **short** ranges are seek-dominated — one page I/O per qualifying run plus
+  a short scan governed by ``SystemConfig.range_selectivity`` (the paper's
+  near-zero-selectivity setup; the historical behaviour of this model);
+* **long** ranges are scan-dominated — besides the per-run seeks they pay
+  ``long_range_selectivity`` worth of sequential pages *per run and level*:
+  in the worst case every run of a level holds (live or obsolete) versions
+  of the interval's entries, so a level with ``r`` runs costs up to ``r``
+  times the pages a single-run level costs.  This is what makes a single-run
+  largest level (lazy leveling, fluid with ``Z = 1``) dominate long scans
+  while tiering pays the ``T - 1``-fold worst case.
+
+A workload's ``long_range_fraction`` ``ν`` blends the two:
+``Q = (1 - ν) · Q_short + ν · Q_long``; with ``ν = 0`` every cost is
+identical to the pre-split model.
 
 All per-policy structure enters through exactly two quantities supplied by
 the :class:`~repro.lsm.policy.CompactionPolicy` strategy objects — the
@@ -31,7 +48,7 @@ from typing import Sequence
 import numpy as np
 
 from .bloom import monkey_false_positive_rates, monkey_false_positive_rates_batch
-from .policy import Policy
+from .policy import CompactionPolicy, Policy, PolicySpec
 from .system import SystemConfig
 from .tuning import LSMTuning
 
@@ -97,12 +114,28 @@ class LSMCostModel:
         rates = self.false_positive_rates(tuning)
         indices = np.arange(1, levels + 1, dtype=float)
         runs = np.asarray(
-            tuning.policy.strategy.runs_per_level(
+            tuning.strategy.runs_per_level(
                 tuning.size_ratio, indices, float(levels)
             ),
             dtype=float,
         )
         return levels, rates, runs
+
+    def _level_capacities(self, tuning: LSMTuning, levels: int) -> np.ndarray:
+        """Per-level capacities in entries: ``(T-1) T^(i-1) · m_buf / E``.
+
+        Computed with integer exponents, exactly as the pre-split model did,
+        so the scalar costs of classical tunings stay bit-identical.
+        """
+        size_ratio = tuning.size_ratio
+        buffer_entries = self.system.buffer_entries(tuning.bits_per_entry)
+        return np.array(
+            [
+                (size_ratio - 1.0) * size_ratio ** (i - 1) * buffer_entries
+                for i in range(1, levels + 1)
+            ],
+            dtype=float,
+        )
 
     # ------------------------------------------------------------------
     # Individual query costs
@@ -126,28 +159,20 @@ class LSMCostModel:
         expected false-positive I/Os of every run above it and, on average,
         of half the other runs within level ``i`` probed before the match.
         """
-        size_ratio = tuning.size_ratio
         levels, rates, runs = self._level_structure(tuning)
-        buffer_entries = self.system.buffer_entries(tuning.bits_per_entry)
-
-        level_capacity = np.array(
-            [
-                (size_ratio - 1.0) * size_ratio ** (i - 1) * buffer_entries
-                for i in range(1, levels + 1)
-            ],
-            dtype=float,
-        )
+        level_capacity = self._level_capacities(tuning, levels)
         residence_probability = level_capacity / float(np.sum(level_capacity))
         level_fp = runs * rates
         preceding_fp = np.cumsum(level_fp) - level_fp
         per_level_cost = 1.0 + preceding_fp + (runs - 1.0) / 2.0 * rates
         return float(np.sum(residence_probability * per_level_cost))
 
-    def range_read_cost(self, tuning: LSMTuning) -> float:
-        """Expected I/Os of a range lookup, ``Q(Φ)`` (Eq. 15).
+    def short_range_cost(self, tuning: LSMTuning) -> float:
+        """Expected I/Os of a *short* (seek-dominated) range lookup.
 
-        One seek per qualifying run plus a sequential scan whose length is
-        governed by the range selectivity ``S_RQ``.
+        One seek per qualifying run plus a sequential scan governed by the
+        short-range selectivity ``S_RQ`` (near zero in the paper's setup).
+        This is the historical ``Q(Φ)`` of the pre-split model.
         """
         _, _, runs = self._level_structure(tuning)
         scan_pages = (
@@ -156,6 +181,44 @@ class LSMCostModel:
             / self.system.entries_per_page
         )
         return scan_pages + float(np.sum(runs))
+
+    def long_range_cost(self, tuning: LSMTuning) -> float:
+        """Expected I/Os of a *long* (scan-dominated) range lookup.
+
+        Besides the per-run seeks, every level contributes its worst-case
+        sequential pages: the long-range selectivity's share of the level's
+        capacity, *per resident run* — overlapping runs may each hold (live
+        or obsolete) versions of the interval's entries, so a tiered level
+        costs up to ``T - 1`` times a leveled one (Dostoevsky §4).  A
+        single-run largest level therefore dominates this term.
+        """
+        levels, _, runs = self._level_structure(tuning)
+        capacities = self._level_capacities(tuning, levels)
+        scan_pages = (
+            self.system.long_range_selectivity
+            * float(np.sum(runs * capacities))
+            / self.system.entries_per_page
+        )
+        return scan_pages + float(np.sum(runs))
+
+    def range_read_cost(
+        self, tuning: LSMTuning, long_range_fraction: float = 0.0
+    ) -> float:
+        """Expected I/Os of a range lookup, ``Q(Φ)`` (Eq. 15, split regimes).
+
+        Blend of the short- and long-range costs weighted by the workload's
+        long-range fraction ``ν``.  The ``ν = 0`` fast path never evaluates
+        the long-range selectivity split, so workloads without long ranges
+        (and the pre-split call sites) see bit-identical costs — and a
+        degenerate long-range term can never poison a short-range workload.
+        """
+        if long_range_fraction <= 0.0:
+            return self.short_range_cost(tuning)
+        if long_range_fraction >= 1.0:
+            return self.long_range_cost(tuning)
+        return (1.0 - long_range_fraction) * self.short_range_cost(
+            tuning
+        ) + long_range_fraction * self.long_range_cost(tuning)
 
     def write_cost(self, tuning: LSMTuning) -> float:
         """Amortised I/Os of one write, ``W(Φ)`` (Eq. 16).
@@ -168,7 +231,7 @@ class LSMCostModel:
         levels = self.num_levels(tuning)
         indices = np.arange(1, levels + 1, dtype=float)
         merges = np.asarray(
-            tuning.policy.strategy.merge_factor(
+            tuning.strategy.merge_factor(
                 tuning.size_ratio, indices, float(levels)
             ),
             dtype=float,
@@ -179,24 +242,33 @@ class LSMCostModel:
     # ------------------------------------------------------------------
     # Aggregate costs
     # ------------------------------------------------------------------
-    def cost_breakdown(self, tuning: LSMTuning) -> CostBreakdown:
+    def cost_breakdown(
+        self, tuning: LSMTuning, long_range_fraction: float = 0.0
+    ) -> CostBreakdown:
         """All four per-query costs of a tuning as a :class:`CostBreakdown`."""
         return CostBreakdown(
             empty_read=self.empty_read_cost(tuning),
             non_empty_read=self.non_empty_read_cost(tuning),
-            range_read=self.range_read_cost(tuning),
+            range_read=self.range_read_cost(tuning, long_range_fraction),
             write=self.write_cost(tuning),
         )
 
-    def cost_vector(self, tuning: LSMTuning) -> np.ndarray:
-        """The cost vector ``c(Φ) = (Z0, Z1, Q, W)``."""
-        return self.cost_breakdown(tuning).as_array()
+    def cost_vector(
+        self, tuning: LSMTuning, long_range_fraction: float = 0.0
+    ) -> np.ndarray:
+        """The cost vector ``c(Φ) = (Z0, Z1, Q, W)``.
+
+        ``long_range_fraction`` is the workload's ``ν``: the range component
+        blends the short- and long-range regimes accordingly.
+        """
+        return self.cost_breakdown(tuning, long_range_fraction).as_array()
 
     def cost_matrix(
         self,
         size_ratios: Sequence[float] | np.ndarray,
         bits_per_entry: Sequence[float] | np.ndarray,
-        policy: Policy | str,
+        policy: Policy | str | PolicySpec,
+        long_range_fraction: float = 0.0,
     ) -> np.ndarray:
         """Cost vectors of a whole ``(T, h)`` candidate grid in one pass.
 
@@ -215,7 +287,12 @@ class LSMCostModel:
             1-D array of candidate Bloom-filter budgets (each ``>= 0`` and
             small enough to leave room for a write buffer).
         policy:
-            The compaction policy of every candidate.
+            The compaction policy of every candidate — an enum member, a
+            string, or a :class:`~repro.lsm.policy.PolicySpec` carrying fluid
+            ``K``/``Z`` run bounds.
+        long_range_fraction:
+            The workload's ``ν``: fraction of range lookups that are long
+            (scan-dominated).  ``0`` skips the long-range term entirely.
 
         Returns
         -------
@@ -226,7 +303,7 @@ class LSMCostModel:
             scalar :meth:`cost_vector` to ~1e-12 relative error.
         """
         system = self.system
-        strategy = Policy.from_value(policy).strategy
+        strategy = _resolve_strategy(policy)
         ratios = np.asarray(size_ratios, dtype=float).reshape(-1, 1, 1)
         bits = np.asarray(bits_per_entry, dtype=float).reshape(1, -1, 1)
         if ratios.size == 0 or bits.size == 0:
@@ -269,11 +346,24 @@ class LSMCostModel:
         per_level_cost = 1.0 + preceding_fp + (runs - 1.0) / 2.0 * rates
         non_empty_read = np.sum(residence * per_level_cost, axis=-1)
 
-        # Q: one seek per run plus the selectivity-governed sequential scan.
-        scan_pages = (
+        # Q: one seek per run plus the selectivity-governed sequential scans.
+        # Short ranges scan S_RQ of the whole store; long ranges pay the
+        # worst-case per-run share of every level's capacity.  The ν = 0 fast
+        # path never evaluates the long-range split (zero-weight guard).
+        seeks = np.sum(runs, axis=-1)
+        short_scan = (
             system.range_selectivity * system.num_entries / system.entries_per_page
         )
-        range_read = scan_pages + np.sum(runs, axis=-1)
+        nu = float(long_range_fraction)
+        if nu <= 0.0:
+            range_read = seeks + short_scan
+        else:
+            long_scan = (
+                system.long_range_selectivity
+                * np.sum(runs * capacity, axis=-1)
+                / system.entries_per_page
+            )
+            range_read = seeks + (1.0 - nu) * short_scan + nu * long_scan
 
         # W: per-level merge amortisation, per page, weighted by asymmetry.
         merges = np.where(mask, strategy.merge_factor(ratios, index, levels), 0.0)
@@ -290,21 +380,29 @@ class LSMCostModel:
 
         ``workload`` may be anything exposing ``as_array()`` (a
         :class:`repro.workloads.Workload`) or a length-4 sequence ordered as
-        ``(z0, z1, q, w)``.
+        ``(z0, z1, q, w)``.  The workload's ``long_range_fraction`` (when it
+        carries one) selects the short/long range blend, and the dot product
+        runs over the workload's support only, so a zero-weight query type
+        can never contribute — even if its cost component is degenerate
+        (the ``0 · inf`` guard, mirroring the robust dual's support mask).
         """
         weights = _workload_array(workload)
-        return float(np.dot(weights, self.cost_vector(tuning)))
+        vector = self.cost_vector(tuning, _long_range_fraction(workload))
+        return _support_dot(vector, weights)
 
     def workload_cost_matrix(
         self,
         workload,
         size_ratios: Sequence[float] | np.ndarray,
         bits_per_entry: Sequence[float] | np.ndarray,
-        policy: Policy | str,
+        policy: Policy | str | PolicySpec,
     ) -> np.ndarray:
         """``C(w, Φ)`` over a whole ``(T, h)`` grid in one broadcasted pass."""
         weights = _workload_array(workload)
-        return self.cost_matrix(size_ratios, bits_per_entry, policy) @ weights
+        costs = self.cost_matrix(
+            size_ratios, bits_per_entry, policy, _long_range_fraction(workload)
+        )
+        return _support_dot(costs, weights)
 
     def throughput(self, workload, tuning: LSMTuning) -> float:
         """Throughput proxy ``1 / C(w, Φ)`` used throughout the evaluation."""
@@ -325,3 +423,33 @@ def _workload_array(workload) -> np.ndarray:
     if np.any(weights < 0):
         raise ValueError("workload proportions must be non-negative")
     return weights
+
+
+def _long_range_fraction(workload) -> float:
+    """The ``ν`` of a workload-like object (0 for plain sequences)."""
+    return float(getattr(workload, "long_range_fraction", 0.0))
+
+
+def _support_dot(costs: np.ndarray, weights: np.ndarray) -> np.ndarray | float:
+    """``costs @ weights`` restricted to the weights' support.
+
+    Zero-weight components are excluded *before* the multiplication so that a
+    non-finite cost of an unused query type cannot poison the total via
+    ``0 · inf = nan`` — the same guard the robust dual applies to its
+    log-expectation.  ``costs`` may be a single vector or a ``(..., 4)``
+    batch; scalars come back as plain floats.
+    """
+    support = weights > 0.0
+    result = costs[..., support] @ weights[support]
+    if np.ndim(result) == 0:
+        return float(result)
+    return result
+
+
+def _resolve_strategy(policy: Policy | str | PolicySpec | CompactionPolicy):
+    """Resolve any policy-like value to a concrete strategy object."""
+    if isinstance(policy, CompactionPolicy):
+        return policy
+    if isinstance(policy, PolicySpec):
+        return policy.strategy
+    return Policy.from_value(policy).strategy

@@ -2,7 +2,7 @@
 model and the storage engine.
 
 The paper's design space contains the two classical merge policies; this
-reproduction additionally supports the *lazy leveling* hybrid of Dostoevsky
+reproduction additionally supports the hybrid designs of Dostoevsky
 (Dayan & Idreos, SIGMOD'18):
 
 * **Leveling** — each level holds at most one sorted run; a run arriving from
@@ -15,6 +15,16 @@ reproduction additionally supports the *lazy leveling* hybrid of Dostoevsky
   kept as a single leveled run.  Point reads stay close to leveling (the
   largest level dominates the residence probability) while writes avoid most
   of leveling's repeated merges.
+* **1-leveling** — the mirror image of lazy leveling: leveling on the first
+  disk level only, tiering below it.  The smallest level absorbs the flush
+  churn as a single run while the bulk of the tree keeps tiering's cheap
+  writes.
+* **Fluid** — Dostoevsky's fluid LSM: a run *bound* ``K`` on every level but
+  the largest and a separate bound ``Z`` on the largest level, both tunable.
+  ``K = Z = 1`` recovers leveling exactly, ``K = Z = T - 1`` recovers
+  tiering, and ``K = T - 1, Z = 1`` recovers lazy leveling, so the fluid
+  family is a superset of every other policy here; the tuners sweep a
+  ``(K, Z)`` grid alongside ``(T, h)``.
 
 Two views of a policy coexist:
 
@@ -24,15 +34,25 @@ Two views of a policy coexist:
   per-policy logic.  It supplies the analytical quantities the cost model
   needs (runs per level, merge amortisation factors, both NumPy
   broadcastable) and the runtime hooks the simulated LSM tree needs
-  (merge-on-arrival levels, compaction trigger, bulk-load fill fractions).
-  ``Policy.strategy`` resolves the enum to its singleton strategy, so no
-  other module ever branches on the enum value.
+  (merge-on-arrival levels, per-level compaction triggers, bulk-load fill
+  fractions).  ``Policy.strategy`` resolves the enum to its singleton
+  strategy, so no other module ever branches on the enum value.
+
+Parameterised policies (fluid's ``K``/``Z``) add a third, lightweight view:
+
+* :class:`PolicySpec` — a hashable ``(policy, k_bound, z_bound)`` triple the
+  tuners sweep.  ``CompactionPolicy.for_tuning`` binds a strategy to the
+  bounds carried on a concrete :class:`~repro.lsm.tuning.LSMTuning`, and
+  :func:`expand_policy_specs` unfolds ``Policy.FLUID`` into the default
+  ``(K, Z)`` candidate grid.
 """
 
 from __future__ import annotations
 
 import abc
 import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -43,6 +63,8 @@ class Policy(enum.Enum):
     LEVELING = "leveling"
     TIERING = "tiering"
     LAZY_LEVELING = "lazy-leveling"
+    ONE_LEVELING = "1-leveling"
+    FLUID = "fluid"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -80,6 +102,17 @@ class Policy(enum.Enum):
             "lazyleveling": cls.LAZY_LEVELING,
             "lazy": cls.LAZY_LEVELING,
             "ll": cls.LAZY_LEVELING,
+            "1-leveling": cls.ONE_LEVELING,
+            "1_leveling": cls.ONE_LEVELING,
+            "1leveling": cls.ONE_LEVELING,
+            "one-leveling": cls.ONE_LEVELING,
+            "one_leveling": cls.ONE_LEVELING,
+            "1l": cls.ONE_LEVELING,
+            "fluid": cls.FLUID,
+            "fluid-lsm": cls.FLUID,
+            "k-hybrid": cls.FLUID,
+            "khybrid": cls.FLUID,
+            "f": cls.FLUID,
         }
         try:
             return aliases[norm]
@@ -109,6 +142,15 @@ class CompactionPolicy(abc.ABC):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
+    def for_tuning(self, tuning) -> "CompactionPolicy":
+        """Bind this strategy to the per-tuning parameters it needs.
+
+        Stateless policies return themselves; parameterised policies (fluid's
+        ``K``/``Z`` run bounds) return an instance configured with the bounds
+        carried on the :class:`~repro.lsm.tuning.LSMTuning`.
+        """
+        return self
+
     # ------------------------------------------------------------------
     # Analytical quantities (NumPy broadcastable)
     # ------------------------------------------------------------------
@@ -119,7 +161,8 @@ class CompactionPolicy(abc.ABC):
         All arguments broadcast: ``size_ratio`` is ``T`` (scalar or array),
         ``level`` the 1-based level index and ``num_levels`` the tree depth
         ``L``.  This single quantity determines the false-positive probes of
-        point lookups and the seeks of range queries.
+        point lookups, the seeks of range queries and the worst-case pages a
+        long range scan touches per level.
         """
 
     @abc.abstractmethod
@@ -128,7 +171,9 @@ class CompactionPolicy(abc.ABC):
 
         Broadcastable like :meth:`runs_per_level`.  Under leveling an entry
         is rewritten about ``(T-1)/2`` times per level, under tiering
-        ``(T-1)/T`` times (it is merged once when the level fills up).
+        ``(T-1)/T`` times (it is merged once when the level fills up); a
+        fluid level with run bound ``m`` interpolates as ``(T-1)/(m+1)``,
+        which recovers both classical values at ``m = 1`` and ``m = T - 1``.
         """
 
     # ------------------------------------------------------------------
@@ -143,9 +188,28 @@ class CompactionPolicy(abc.ABC):
         trigger fires.  ``last_level`` is the tree's current deepest level.
         """
 
-    def max_resident_runs(self, size_ratio: int) -> int:
-        """Runs a stacking level may hold before compaction triggers."""
+    def max_resident_runs(
+        self, size_ratio: int, level: int = 1, last_level: int | None = None
+    ) -> int:
+        """Runs a stacking level may hold before compaction triggers.
+
+        ``level``/``last_level`` let per-level policies (fluid's ``K`` on
+        upper levels vs ``Z`` on the largest) answer per level; stateless
+        policies ignore them, so calls without level context keep returning
+        the classical ``T - 1`` trigger.
+        """
         return max(1, int(size_ratio) - 1)
+
+    def compacts_within_level(self, level: int, last_level: int) -> bool:
+        """Whether hitting the run bound merges *within* the level.
+
+        Classical policies merge a full level into the next one (the run
+        bound coincides with the level being at capacity).  Fluid policies
+        with a bound below ``T - 1`` hit the bound while the level still has
+        entry headroom; they restore the bound by merging the level's runs in
+        place and only spill down once the level's capacity is exhausted.
+        """
+        return False
 
     def bulk_load_fill_fraction(
         self, level: int, last_level: int, headroom: float
@@ -225,11 +289,257 @@ class LazyLevelingPolicy(CompactionPolicy):
         return level >= last_level
 
 
+class OneLevelingPolicy(CompactionPolicy):
+    """1-leveling: leveling on the first disk level, tiering below it.
+
+    The mirror image of lazy leveling: the *smallest* level is kept as a
+    single run (absorbing the high-frequency flush churn with cheap merges —
+    level 1 is small, so rewriting it is inexpensive) while every deeper
+    level stacks runs like tiering.  With a single disk level it degenerates
+    to plain leveling, exactly like lazy leveling does.
+    """
+
+    policy = Policy.ONE_LEVELING
+
+    def runs_per_level(self, size_ratio, level, num_levels):
+        size_ratio, level, num_levels = np.broadcast_arrays(
+            size_ratio, level, num_levels
+        )
+        return np.where(level <= 1, 1.0, size_ratio - 1.0)
+
+    def merge_factor(self, size_ratio, level, num_levels):
+        size_ratio, level, num_levels = np.broadcast_arrays(
+            size_ratio, level, num_levels
+        )
+        return np.where(
+            level <= 1,
+            (size_ratio - 1.0) / 2.0,
+            (size_ratio - 1.0) / size_ratio,
+        )
+
+    def merges_on_arrival(self, level: int, last_level: int) -> bool:
+        return level <= 1
+
+
+class FluidPolicy(CompactionPolicy):
+    """Dostoevsky's fluid LSM: tunable run bounds ``K`` (upper) and ``Z`` (last).
+
+    Every level but the largest holds at most ``K`` runs, the largest at most
+    ``Z``.  Bounds are clamped per level to the feasible range ``[1, T - 1]``,
+    so a single ``(K, Z)`` pair stays meaningful across the whole size-ratio
+    grid the tuners sweep.  The analytical quantities interpolate the
+    classical formulas:
+
+    * runs per level — the (clamped) bound itself,
+    * merge factor — ``(T - 1) / (bound + 1)``, which equals leveling's
+      ``(T-1)/2`` at bound 1 and tiering's ``(T-1)/T`` at bound ``T - 1``.
+
+    ``k_bound=None`` defaults to ``T - 1`` (tiering-like upper levels) and
+    ``z_bound=None`` to ``1`` (a single leveled run at the largest level), so
+    an unparameterised fluid tuning is lazy leveling.
+    """
+
+    policy = Policy.FLUID
+
+    def __init__(
+        self, k_bound: float | None = None, z_bound: float | None = None
+    ) -> None:
+        if k_bound is not None and k_bound < 1.0:
+            raise ValueError(f"k_bound must be at least 1, got {k_bound}")
+        if z_bound is not None and z_bound < 1.0:
+            raise ValueError(f"z_bound must be at least 1, got {z_bound}")
+        self.k_bound = None if k_bound is None else float(k_bound)
+        self.z_bound = 1.0 if z_bound is None else float(z_bound)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        k = "T-1" if self.k_bound is None else f"{self.k_bound:g}"
+        return f"FluidPolicy(K={k}, Z={self.z_bound:g})"
+
+    def for_tuning(self, tuning) -> "FluidPolicy":
+        return FluidPolicy(k_bound=tuning.k_bound, z_bound=tuning.z_bound)
+
+    # ------------------------------------------------------------------
+    # Effective (clamped) bounds
+    # ------------------------------------------------------------------
+    def effective_bounds(self, size_ratio):
+        """Per-``T`` effective ``(K, Z)``: the bounds clamped to ``[1, T-1]``."""
+        cap = np.maximum(np.asarray(size_ratio, dtype=float) - 1.0, 1.0)
+        if self.k_bound is None:
+            k = cap
+        else:
+            k = np.clip(self.k_bound, 1.0, cap)
+        z = np.clip(self.z_bound, 1.0, cap)
+        return k, z
+
+    # ------------------------------------------------------------------
+    # Analytical quantities
+    # ------------------------------------------------------------------
+    def runs_per_level(self, size_ratio, level, num_levels):
+        size_ratio, level, num_levels = np.broadcast_arrays(
+            size_ratio, level, num_levels
+        )
+        k, z = self.effective_bounds(size_ratio)
+        return np.where(level >= num_levels, z, k)
+
+    def merge_factor(self, size_ratio, level, num_levels):
+        size_ratio, level, num_levels = np.broadcast_arrays(
+            size_ratio, level, num_levels
+        )
+        size_ratio = np.asarray(size_ratio, dtype=float)
+        k, z = self.effective_bounds(size_ratio)
+        return np.where(
+            level >= num_levels,
+            (size_ratio - 1.0) / (z + 1.0),
+            (size_ratio - 1.0) / (k + 1.0),
+        )
+
+    # ------------------------------------------------------------------
+    # Runtime hooks
+    # ------------------------------------------------------------------
+    def merges_on_arrival(self, level: int, last_level: int) -> bool:
+        if level >= last_level:
+            return self.z_bound == 1.0
+        return self.k_bound == 1.0
+
+    def max_resident_runs(
+        self, size_ratio: int, level: int = 1, last_level: int | None = None
+    ) -> int:
+        cap = max(1, int(size_ratio) - 1)
+        if last_level is not None and level >= last_level:
+            return int(np.clip(self.z_bound, 1, cap))
+        if self.k_bound is None:
+            return cap
+        return int(np.clip(self.k_bound, 1, cap))
+
+    def compacts_within_level(self, level: int, last_level: int) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A fully specified policy candidate: identity plus fluid run bounds.
+
+    The tuners sweep a sequence of these; for classical policies the bounds
+    are ``None`` and the spec is just the enum.  Specs are hashable, so they
+    can key per-policy result dictionaries.
+    """
+
+    policy: Policy
+    k_bound: float | None = None
+    z_bound: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "policy", Policy.from_value(self.policy))
+        if self.policy is not Policy.FLUID and (
+            self.k_bound is not None or self.z_bound is not None
+        ):
+            raise ValueError("run bounds are only meaningful for the fluid policy")
+
+    @classmethod
+    def of(cls, value: "Policy | str | PolicySpec") -> "PolicySpec":
+        """Coerce a policy-like value (enum, string or spec) to a spec."""
+        if isinstance(value, cls):
+            return value
+        return cls(policy=Policy.from_value(value))
+
+    @property
+    def name(self) -> str:
+        """Stable display name, e.g. ``fluid[K=4,Z=1]`` or ``leveling``."""
+        if self.policy is not Policy.FLUID:
+            return self.policy.value
+        k = "T-1" if self.k_bound is None else f"{self.k_bound:g}"
+        z = "1" if self.z_bound is None else f"{self.z_bound:g}"
+        return f"fluid[K={k},Z={z}]"
+
+    @property
+    def strategy(self) -> CompactionPolicy:
+        """The (possibly parameterised) strategy this spec describes."""
+        if self.policy is Policy.FLUID:
+            return FluidPolicy(k_bound=self.k_bound, z_bound=self.z_bound)
+        return self.policy.strategy
+
+
+#: Default fluid ``K`` candidates (clamped per ``T`` to ``[1, T-1]``); a
+#: geometric-ish ladder so the sweep covers the leveling → tiering spectrum
+#: without a quadratic number of cost-matrix passes.
+DEFAULT_FLUID_K_GRID: tuple[float, ...] = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64)
+
+#: Default fluid ``Z`` candidates for the largest level.  ``Z = 1`` (leveled
+#: largest level) dominates unless writes dominate the workload, so the grid
+#: stays small; the diagonal ``Z = K`` specs added by
+#: :func:`expand_policy_specs` cover the tiering corner exactly.
+DEFAULT_FLUID_Z_GRID: tuple[float, ...] = (1, 2, 4)
+
+
+def expand_policy_specs(
+    policies: Iterable["Policy | str | PolicySpec"],
+    max_size_ratio: float = 100.0,
+    k_grid: Sequence[float] | None = None,
+    z_grid: Sequence[float] | None = None,
+) -> tuple[PolicySpec, ...]:
+    """Unfold a policy list into the concrete specs a tuner sweeps.
+
+    Classical policies map to a single spec each.  ``Policy.FLUID`` expands
+    into the ``(K, Z)`` candidate grid:
+
+    * the *K-tracking* specs first — ``k_bound=None`` means ``K = T - 1``
+      at every size ratio, so the lazy-leveling-shaped designs stay coupled
+      to ``T`` through the continuous polish exactly like the dedicated
+      lazy policy does (a fixed ``K`` has a clamp kink at ``T = K + 1``
+      that can stall the polish on a tie);
+    * all combinations of ``k_grid`` × ``z_grid`` with ``Z <= K`` (bounds
+      above ``K`` never beat the ``Z = K`` diagonal for the workloads a
+      bounded largest level targets), plus the ``Z = K`` diagonal itself so
+      the tiering corner is represented exactly, plus a top candidate at
+      ``max_size_ratio - 1`` so tiering/lazy leveling are recovered exactly
+      for every size ratio on the sweep grid.
+
+    Tracking specs precede fixed-``K`` specs so they win exact ties in the
+    sweep.  Explicit :class:`PolicySpec` entries pass through untouched, so
+    callers can pin ``K``/``Z`` by hand.
+    """
+    if k_grid is None:
+        k_grid = DEFAULT_FLUID_K_GRID
+    if z_grid is None:
+        z_grid = DEFAULT_FLUID_Z_GRID
+    cap = max(1.0, float(max_size_ratio) - 1.0)
+    specs: list[PolicySpec] = []
+    seen: set[PolicySpec] = set()
+
+    def add(spec: PolicySpec) -> None:
+        if spec not in seen:
+            seen.add(spec)
+            specs.append(spec)
+
+    for entry in policies:
+        if isinstance(entry, PolicySpec):
+            add(entry)
+            continue
+        policy = Policy.from_value(entry)
+        if policy is not Policy.FLUID:
+            add(PolicySpec(policy=policy))
+            continue
+        ks = sorted({float(min(k, cap)) for k in k_grid if k >= 1} | {cap})
+        zs = sorted({float(min(z, cap)) for z in z_grid if z >= 1})
+        for z in zs:
+            add(PolicySpec(policy=policy, k_bound=None, z_bound=z))
+        for k in ks:
+            for z in zs:
+                if z <= k:
+                    add(PolicySpec(policy=policy, k_bound=k, z_bound=z))
+            add(PolicySpec(policy=policy, k_bound=k, z_bound=k))
+    if not specs:
+        raise ValueError("at least one compaction policy is required")
+    return tuple(specs)
+
+
 #: Singleton strategy instances, keyed by their enum identity.
 _STRATEGIES: dict[Policy, CompactionPolicy] = {
     Policy.LEVELING: LevelingPolicy(),
     Policy.TIERING: TieringPolicy(),
     Policy.LAZY_LEVELING: LazyLevelingPolicy(),
+    Policy.ONE_LEVELING: OneLevelingPolicy(),
+    Policy.FLUID: FluidPolicy(),
 }
 
 
@@ -247,4 +557,6 @@ ALL_POLICIES: tuple[Policy, ...] = (
     Policy.LEVELING,
     Policy.TIERING,
     Policy.LAZY_LEVELING,
+    Policy.ONE_LEVELING,
+    Policy.FLUID,
 )

@@ -43,9 +43,18 @@ class SystemConfig:
         Storage asymmetry ``A_rw``: how much more expensive a write I/O is
         than a read I/O (1.0 means symmetric).
     range_selectivity:
-        Expected selectivity ``S_RQ`` of range queries, i.e. the fraction of
-        all entries returned by an average range query.  The paper's system
-        experiments use "short" range queries with near-zero selectivity.
+        Expected selectivity ``S_RQ`` of *short* range queries, i.e. the
+        fraction of all entries returned by an average short range query.
+        The paper's system experiments use "short" range queries with
+        near-zero selectivity.
+    long_range_selectivity:
+        Expected selectivity of *long* range queries (Dostoevsky §4 splits
+        the two regimes: short ranges are seek-dominated, long ranges
+        scan-dominated).  Only enters the cost model when a workload carries
+        a non-zero ``long_range_fraction``.  The default (2e-5, i.e. a
+        200-entry scan ≈ 50 sequential pages at paper scale) makes a long
+        scan clearly scan-dominated while keeping it comparable to tens of
+        point lookups, so the tuner's trade-off stays non-degenerate.
     min_bits_per_entry:
         Lower bound on Bloom-filter bits per entry the tuner may choose.
     max_size_ratio:
@@ -58,6 +67,7 @@ class SystemConfig:
     total_memory_bytes: float = 20 * MIB
     read_write_asymmetry: float = 1.0
     range_selectivity: float = 0.0
+    long_range_selectivity: float = 2e-5
     min_bits_per_entry: float = 0.0
     max_size_ratio: float = 100.0
 
@@ -74,6 +84,8 @@ class SystemConfig:
             raise ValueError("read_write_asymmetry must be non-negative")
         if not 0.0 <= self.range_selectivity <= 1.0:
             raise ValueError("range_selectivity must be in [0, 1]")
+        if not 0.0 <= self.long_range_selectivity <= 1.0:
+            raise ValueError("long_range_selectivity must be in [0, 1]")
         if self.max_size_ratio < 2.0:
             raise ValueError("max_size_ratio must be at least 2")
         if self.max_bits_per_entry <= max(self.min_bits_per_entry, 0.0):
@@ -212,6 +224,7 @@ class SystemConfig:
             "total_memory_bytes": self.total_memory_bytes,
             "read_write_asymmetry": self.read_write_asymmetry,
             "range_selectivity": self.range_selectivity,
+            "long_range_selectivity": self.long_range_selectivity,
             "min_bits_per_entry": self.min_bits_per_entry,
             "max_size_ratio": self.max_size_ratio,
         }
@@ -236,6 +249,7 @@ def simulator_system(
     bits_per_entry_budget: float = 16.0,
     read_write_asymmetry: float = 1.0,
     range_selectivity: float = 0.0,
+    long_range_selectivity: float = 0.01,
 ) -> SystemConfig:
     """Build a small :class:`SystemConfig` suitable for the LSM simulator.
 
@@ -257,4 +271,5 @@ def simulator_system(
         total_memory_bytes=total_memory_bytes,
         read_write_asymmetry=read_write_asymmetry,
         range_selectivity=range_selectivity,
+        long_range_selectivity=long_range_selectivity,
     )

@@ -2,8 +2,10 @@
 
 A tuning ``Φ = (T, h, π)`` fixes the size ratio between levels, the number of
 Bloom-filter bits allocated per entry (equivalently ``m_filt``) and the
-compaction policy.  The write-buffer memory is derived from the system's
-total memory budget: ``m_buf = m − m_filt``.
+compaction policy.  Fluid tunings carry two further dimensions — the run
+bounds ``K`` (upper levels) and ``Z`` (largest level) of Dostoevsky's fluid
+LSM.  The write-buffer memory is derived from the system's total memory
+budget: ``m_buf = m − m_filt``.
 """
 
 from __future__ import annotations
@@ -11,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
-from .policy import Policy
+from .policy import CompactionPolicy, Policy
 from .system import SystemConfig
 
 
@@ -28,12 +30,24 @@ class LSMTuning:
     bits_per_entry:
         Bloom-filter budget ``h = m_filt / N`` in bits per entry.
     policy:
-        Compaction policy (leveling, tiering or lazy leveling).
+        Compaction policy (leveling, tiering, lazy leveling, 1-leveling or
+        fluid).
+    k_bound:
+        Fluid run bound ``K`` of every level but the largest.  Only
+        meaningful for :attr:`Policy.FLUID`; defaults to ``T - 1`` there
+        (tiering-like upper levels) and is forced to ``None`` for every
+        other policy so classical tunings compare equal regardless of how
+        they were built.
+    z_bound:
+        Fluid run bound ``Z`` of the largest level; defaults to ``1`` (a
+        single leveled run) for fluid tunings, ``None`` otherwise.
     """
 
     size_ratio: float
     bits_per_entry: float
     policy: Policy
+    k_bound: float | None = None
+    z_bound: float | None = None
 
     def __post_init__(self) -> None:
         if self.size_ratio < 2.0:
@@ -43,6 +57,25 @@ class LSMTuning:
                 f"bits_per_entry must be non-negative, got {self.bits_per_entry}"
             )
         object.__setattr__(self, "policy", Policy.from_value(self.policy))
+        if self.policy is Policy.FLUID:
+            k = self.size_ratio - 1.0 if self.k_bound is None else float(self.k_bound)
+            z = 1.0 if self.z_bound is None else float(self.z_bound)
+            if k < 1.0 or z < 1.0:
+                raise ValueError(
+                    f"fluid run bounds must be at least 1, got K={k}, Z={z}"
+                )
+            object.__setattr__(self, "k_bound", k)
+            object.__setattr__(self, "z_bound", z)
+        else:
+            # Classical policies carry no run bounds; normalising them to
+            # ``None`` keeps equality and hashing independent of the caller.
+            object.__setattr__(self, "k_bound", None)
+            object.__setattr__(self, "z_bound", None)
+
+    @property
+    def strategy(self) -> CompactionPolicy:
+        """The :class:`CompactionPolicy` of this tuning, bound to its ``K``/``Z``."""
+        return self.policy.strategy.for_tuning(self)
 
     # ------------------------------------------------------------------
     # Derived memory quantities
@@ -72,13 +105,34 @@ class LSMTuning:
         Real LSM engines cannot use fractional size ratios, so — like the
         paper does when deploying on RocksDB — we round the continuous value
         produced by the optimiser up to the nearest integer (never below 2).
+        Fluid run bounds are rounded the same way (runs are counted in whole
+        numbers) and clamped to the deployable range ``[1, T - 1]``.
         """
         rounded_ratio = max(2, round(self.size_ratio))
-        return replace(self, size_ratio=float(rounded_ratio))
+        changes: dict[str, Any] = {"size_ratio": float(rounded_ratio)}
+        if self.policy is Policy.FLUID:
+            cap = max(1, rounded_ratio - 1)
+            changes["k_bound"] = float(min(max(1, round(self.k_bound)), cap))
+            changes["z_bound"] = float(min(max(1, round(self.z_bound)), cap))
+        return replace(self, **changes)
 
     def with_policy(self, policy: Policy | str) -> "LSMTuning":
-        """Return a copy with a different compaction policy."""
-        return replace(self, policy=Policy.from_value(policy))
+        """Return a copy with a different compaction policy.
+
+        Switching to fluid materialises the default run bounds (``K = T - 1``,
+        ``Z = 1``); switching away drops them.
+        """
+        return replace(
+            self, policy=Policy.from_value(policy), k_bound=None, z_bound=None
+        )
+
+    def with_bounds(
+        self, k_bound: float | None = None, z_bound: float | None = None
+    ) -> "LSMTuning":
+        """Return a fluid copy of this tuning with the given run bounds."""
+        return replace(
+            self, policy=Policy.FLUID, k_bound=k_bound, z_bound=z_bound
+        )
 
     def clamped(self, system: SystemConfig) -> "LSMTuning":
         """Return a copy with parameters clamped to the system's legal ranges."""
@@ -93,25 +147,41 @@ class LSMTuning:
     # Serialisation / display
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        """Serialise to a plain dictionary."""
-        return {
+        """Serialise to a plain dictionary.
+
+        The fluid run bounds only appear when present, so serialised
+        classical tunings are byte-identical to earlier releases.
+        """
+        data: dict[str, Any] = {
             "size_ratio": self.size_ratio,
             "bits_per_entry": self.bits_per_entry,
             "policy": self.policy.value,
         }
+        if self.k_bound is not None:
+            data["k_bound"] = self.k_bound
+        if self.z_bound is not None:
+            data["z_bound"] = self.z_bound
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "LSMTuning":
         """Build a tuning from a mapping produced by :meth:`to_dict`."""
+        k_bound = data.get("k_bound")
+        z_bound = data.get("z_bound")
         return cls(
             size_ratio=float(data["size_ratio"]),
             bits_per_entry=float(data["bits_per_entry"]),
             policy=Policy.from_value(data["policy"]),
+            k_bound=None if k_bound is None else float(k_bound),
+            z_bound=None if z_bound is None else float(z_bound),
         )
 
     def describe(self) -> str:
         """Human-readable one-line description, matching the paper's figures."""
-        return (
+        base = (
             f"π: {self.policy.value}, T: {self.size_ratio:.1f}, "
             f"h: {self.bits_per_entry:.1f}"
         )
+        if self.policy is Policy.FLUID:
+            base += f", K: {self.k_bound:.0f}, Z: {self.z_bound:.0f}"
+        return base

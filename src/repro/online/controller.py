@@ -216,8 +216,20 @@ class OnlineLSMController:
     # Adaptive loop
     # ------------------------------------------------------------------
     def maybe_retune(self) -> RetuningEvent | None:
-        """Run one drift check; re-tune and possibly migrate when it fires."""
+        """Run one drift check; re-tune and possibly migrate when it fires.
+
+        The operation stream only reveals the four query-type proportions;
+        the short/long range split is a property of the range queries the
+        deployment was configured for, so the expected workload's
+        ``long_range_fraction`` is carried onto the observed estimate before
+        pricing — otherwise a re-tuning could migrate to a design (e.g. a
+        multi-run largest level) the long-range regime penalises.
+        """
         observed = self.estimator.workload()
+        if observed is not None and self.expected.long_range_fraction > 0.0:
+            observed = observed.with_long_range_fraction(
+                self.expected.long_range_fraction
+            )
         check = self.detector.check(
             observed, self.position, self.estimator.observations
         )

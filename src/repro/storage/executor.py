@@ -131,6 +131,9 @@ class ExecutorConfig:
     queries_per_workload: int = 2_000
     #: Number of keys touched by one short range query.
     range_scan_keys: int = 16
+    #: Number of keys touched by one long range query (issued for the
+    #: ``long_range_fraction`` share of a workload's range lookups).
+    long_scan_keys: int = 512
     #: Simulated page read latency in microseconds.
     read_latency_us: float = 100.0
     #: Simulated page write latency in microseconds.
@@ -230,6 +233,7 @@ class WorkloadExecutor:
         trace = TraceGenerator(
             key_space=self.key_space,
             range_scan_keys=self.config.range_scan_keys,
+            long_scan_keys=self.config.long_scan_keys,
             seed=self.config.seed,
         )
         measurements = tuple(
@@ -304,6 +308,7 @@ class WorkloadExecutor:
         trace = TraceGenerator(
             key_space=self.key_space,
             range_scan_keys=self.config.range_scan_keys,
+            long_scan_keys=self.config.long_scan_keys,
             seed=self.config.seed,
         )
         measurements = tuple(

@@ -5,10 +5,12 @@ evaluation (§8).  It implements the structure the analytical model assumes:
 
 * an in-memory write buffer (memtable) holding ``m_buf / E`` entries,
 * exponentially growing disk levels with size ratio ``T``,
-* classic *leveling* and *tiering* compaction plus the *lazy leveling*
-  hybrid, all driven by the shared
-  :class:`~repro.lsm.policy.CompactionPolicy` strategy objects (the same
-  definitions the analytical cost model uses),
+* classic *leveling* and *tiering* compaction plus the *lazy leveling*,
+  *1-leveling* and *fluid* (per-level run bounds ``K``/``Z``) hybrids, all
+  driven by the shared :class:`~repro.lsm.policy.CompactionPolicy` strategy
+  objects (the same definitions the analytical cost model uses); fluid
+  levels that hit their run bound below capacity compact in place, and
+  spill down once the level's entry capacity is exhausted,
 * one Bloom filter per run with Monkey-style per-level allocation,
 * fence pointers (one per page) so point lookups read at most one page per
   probed run,
@@ -84,7 +86,7 @@ class LSMTree:
         self.system = system
         self.tuning = tuning.clamped(system).rounded()
         self.policy = self.tuning.policy
-        self.strategy = self.policy.strategy
+        self.strategy = self.tuning.strategy
         self.size_ratio = int(self.tuning.size_ratio)
         self.disk = disk if disk is not None else VirtualDisk()
         self._seed = seed
@@ -253,14 +255,29 @@ class LSMTree:
         down.  When the destination is a single-run level (lazy leveling's
         largest level), the resident run joins the same merge so the compact
         happens in one pass, exactly as the analytical model amortises it.
+
+        The run-count trigger is per level: fluid policies bound upper levels
+        by ``K`` and the largest by ``Z``.  A fluid level that hits its bound
+        while still below its entry capacity compacts *within* the level
+        (Dostoevsky's fluid LSM restores the bound in place); only a level at
+        capacity spills into the next one.
         """
-        trigger = self.strategy.max_resident_runs(self.size_ratio)
         current = level
         while True:
             self._ensure_level(current)
             runs = self.levels[current - 1]
+            last_level = max(len(self.levels), 1)
+            trigger = self.strategy.max_resident_runs(
+                self.size_ratio, current, last_level
+            )
             if self._merges_on_arrival(current) or len(runs) <= trigger:
                 return
+            if self.strategy.compacts_within_level(current, last_level):
+                total_entries = sum(run.num_entries for run in runs)
+                if total_entries < self.level_capacity_entries(current):
+                    merged = self._merge_runs(runs, current)
+                    self.levels[current - 1] = [merged]
+                    return
             target = current + 1
             self._ensure_level(target)
             sources = list(runs)
@@ -417,7 +434,7 @@ class LSMTree:
         num_runs = int(np.clip(
             np.ceil(chunk.size / natural_run_entries),
             1,
-            self.strategy.max_resident_runs(self.size_ratio),
+            self.strategy.max_resident_runs(self.size_ratio, level, deepest),
         ))
         # Interleave keys across runs so every run spans the whole key domain,
         # as overlapping tiered runs do in practice.

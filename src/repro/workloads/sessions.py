@@ -59,6 +59,21 @@ class Session:
         """Average workload of the session (reported atop the paper's plots)."""
         return average_workload(self.workloads)
 
+    def with_long_range_fraction(self, fraction: float) -> "Session":
+        """Copy of the session with every workload's ``ν`` replaced.
+
+        Used when an experiment's expected workload carries a long-range
+        fraction: the benchmark set is sampled over the four query types
+        only, so the range-regime split is applied uniformly afterwards.
+        """
+        return Session(
+            session_type=self.session_type,
+            label=self.label,
+            workloads=tuple(
+                wl.with_long_range_fraction(fraction) for wl in self.workloads
+            ),
+        )
+
     def __len__(self) -> int:
         return len(self.workloads)
 
@@ -86,6 +101,15 @@ class SessionSequence:
     def observed_divergence(self) -> float:
         """KL divergence of the observed average from the expected workload."""
         return self.observed_average.distance_to(self.expected)
+
+    def with_long_range_fraction(self, fraction: float) -> "SessionSequence":
+        """Copy of the sequence with ``ν`` applied to every session workload."""
+        return SessionSequence(
+            expected=self.expected.with_long_range_fraction(fraction),
+            sessions=tuple(
+                session.with_long_range_fraction(fraction) for session in self.sessions
+            ),
+        )
 
 
 class SessionGenerator:

@@ -8,7 +8,9 @@ concrete operations (get/range/put) against a key domain, mirroring §8.2:
 * non-empty point reads query keys that exist in the database,
 * empty point reads query keys drawn from the same domain that are guaranteed
   not to exist,
-* range queries are short scans with minimal selectivity,
+* range queries are short scans with minimal selectivity; a workload with a
+  non-zero ``long_range_fraction`` issues that share of its range queries as
+  *long* scans covering ``long_scan_keys`` consecutive keys,
 * writes insert fresh, previously unused keys.
 """
 
@@ -85,15 +87,19 @@ class TraceGenerator:
         key_space: KeySpace,
         value_size_bytes: int = 8,
         range_scan_keys: int = 16,
+        long_scan_keys: int = 512,
         seed: int = 23,
     ) -> None:
         if value_size_bytes <= 0:
             raise ValueError("value_size_bytes must be positive")
         if range_scan_keys <= 0:
             raise ValueError("range_scan_keys must be positive")
+        if long_scan_keys < range_scan_keys:
+            raise ValueError("long_scan_keys must be at least range_scan_keys")
         self.key_space = key_space
         self.value_size_bytes = value_size_bytes
         self.range_scan_keys = range_scan_keys
+        self.long_scan_keys = long_scan_keys
         self._rng = np.random.default_rng(seed)
         self._next_fresh_key = key_space.fresh_start
 
@@ -113,7 +119,9 @@ class TraceGenerator:
         ops: list[Operation] = []
         ops.extend(self._empty_gets(int(counts[0])))
         ops.extend(self._gets(int(counts[1])))
-        ops.extend(self._ranges(int(counts[2])))
+        ops.extend(
+            self._ranges(int(counts[2]), workload.long_range_fraction)
+        )
         ops.extend(self._puts(int(counts[3])))
         self._rng.shuffle(ops)
         return ops
@@ -136,13 +144,22 @@ class TraceGenerator:
         keys = self._rng.choice(self.key_space.existing, size=count, replace=True)
         return (Operation(OperationType.GET, int(k)) for k in keys)
 
-    def _ranges(self, count: int) -> Iterator[Operation]:
+    def _ranges(self, count: int, long_fraction: float = 0.0) -> Iterator[Operation]:
         if count == 0:
             return iter(())
         starts = self._rng.choice(self.key_space.existing, size=count, replace=True)
+        # Deterministic split (the operation list is shuffled afterwards, so
+        # which draws become long scans carries no ordering information).
+        num_long = int(round(count * long_fraction))
         return (
-            Operation(OperationType.RANGE, int(k), scan_length=self.range_scan_keys)
-            for k in starts
+            Operation(
+                OperationType.RANGE,
+                int(k),
+                scan_length=(
+                    self.long_scan_keys if i < num_long else self.range_scan_keys
+                ),
+            )
+            for i, k in enumerate(starts)
         )
 
     def _puts(self, count: int) -> list[Operation]:

@@ -4,12 +4,20 @@ A workload is a probability vector ``w = (z0, z1, q, w)`` over the four basic
 operations of an LSM tree: empty point lookups, non-empty point lookups,
 range lookups and writes (Table 1 of the paper).  The components are
 non-negative and sum to one.
+
+Following Dostoevsky's split of the range regime, a workload additionally
+carries ``long_range_fraction`` — the fraction ``ν`` of its range lookups
+that are *long* (scan-dominated) rather than *short* (seek-dominated).  The
+split is a property of the range queries themselves, not a fifth query type:
+the probability vector stays four-dimensional (so the KL-divergence
+uncertainty machinery of the paper is untouched) and ``ν`` modulates the
+range component of the cost vector instead.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -40,12 +48,17 @@ class Workload:
         Fraction of range lookups.
     w:
         Fraction of writes (inserts/updates/deletes).
+    long_range_fraction:
+        Fraction ``ν`` of the range lookups that are long (scan-dominated);
+        ``0`` (the default, matching the paper's short-range setup) leaves
+        every cost identical to the pre-split model.
     """
 
     z0: float
     z1: float
     q: float
     w: float
+    long_range_fraction: float = 0.0
 
     #: Tolerance used when validating that the proportions sum to one.
     _SUM_TOLERANCE = 1e-6
@@ -59,17 +72,32 @@ class Workload:
             raise ValueError(
                 f"workload proportions must sum to 1, got {total!r} for {values}"
             )
+        if not 0.0 <= self.long_range_fraction <= 1.0:
+            raise ValueError(
+                f"long_range_fraction must lie in [0, 1], "
+                f"got {self.long_range_fraction}"
+            )
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_array(cls, values: Sequence[float] | np.ndarray) -> "Workload":
+    def from_array(
+        cls,
+        values: Sequence[float] | np.ndarray,
+        long_range_fraction: float = 0.0,
+    ) -> "Workload":
         """Build a workload from a length-4 sequence ``(z0, z1, q, w)``."""
         arr = np.asarray(values, dtype=float)
         if arr.shape != (4,):
             raise ValueError(f"expected 4 workload components, got shape {arr.shape}")
-        return cls(z0=float(arr[0]), z1=float(arr[1]), q=float(arr[2]), w=float(arr[3]))
+        return cls(
+            z0=float(arr[0]),
+            z1=float(arr[1]),
+            q=float(arr[2]),
+            w=float(arr[3]),
+            long_range_fraction=long_range_fraction,
+        )
 
     @classmethod
     def from_counts(cls, counts: Sequence[float] | np.ndarray) -> "Workload":
@@ -92,6 +120,7 @@ class Workload:
             z1=float(data["z1"]),
             q=float(data["q"]),
             w=float(data["w"]),
+            long_range_fraction=float(data.get("long_range_fraction", 0.0)),
         )
 
     @classmethod
@@ -111,8 +140,15 @@ class Workload:
         return (self.z0, self.z1, self.q, self.w)
 
     def as_dict(self) -> dict[str, float]:
-        """Return the workload keyed by component name."""
-        return dict(zip(QUERY_TYPES, self.as_tuple()))
+        """Return the workload keyed by component name.
+
+        ``long_range_fraction`` is included only when non-zero, keeping the
+        serialisation of classical short-range workloads unchanged.
+        """
+        data = dict(zip(QUERY_TYPES, self.as_tuple()))
+        if self.long_range_fraction > 0.0:
+            data["long_range_fraction"] = self.long_range_fraction
+        return data
 
     @property
     def read_fraction(self) -> float:
@@ -133,12 +169,29 @@ class Workload:
     # ------------------------------------------------------------------
     # Algebra
     # ------------------------------------------------------------------
+    def with_long_range_fraction(self, fraction: float) -> "Workload":
+        """Return a copy with a different long-range fraction ``ν``."""
+        return replace(self, long_range_fraction=fraction)
+
     def mix(self, other: "Workload", weight: float) -> "Workload":
-        """Convex combination ``(1 - weight) * self + weight * other``."""
+        """Convex combination ``(1 - weight) * self + weight * other``.
+
+        The long-range fraction blends weighted by each side's range mass —
+        it is a conditional property of the range queries, so mixing a
+        range-free workload into a range-heavy one leaves ``ν`` untouched.
+        """
         if not 0.0 <= weight <= 1.0:
             raise ValueError("weight must lie in [0, 1]")
         blended = (1.0 - weight) * self.as_array() + weight * other.as_array()
-        return Workload.from_array(blended)
+        range_mass = (1.0 - weight) * self.q + weight * other.q
+        if range_mass > 0.0:
+            fraction = (
+                (1.0 - weight) * self.q * self.long_range_fraction
+                + weight * other.q * other.long_range_fraction
+            ) / range_mass
+        else:
+            fraction = 0.0
+        return Workload.from_array(blended, long_range_fraction=fraction)
 
     def smoothed(self, floor: float = 0.01) -> "Workload":
         """Return a copy where every component is at least ``floor``.
@@ -149,7 +202,9 @@ class Workload:
         if not 0.0 <= floor < 0.25:
             raise ValueError("floor must lie in [0, 0.25)")
         arr = np.maximum(self.as_array(), floor)
-        return Workload.from_array(arr / arr.sum())
+        return Workload.from_array(
+            arr / arr.sum(), long_range_fraction=self.long_range_fraction
+        )
 
     def distance_to(self, other: "Workload") -> float:
         """KL divergence ``I_KL(self, other)`` from this workload to ``other``."""
@@ -157,7 +212,10 @@ class Workload:
 
     def describe(self) -> str:
         """Compact percentage rendering, e.g. ``(25%, 25%, 25%, 25%)``."""
-        return "(" + ", ".join(f"{100 * v:.0f}%" for v in self.as_tuple()) + ")"
+        base = "(" + ", ".join(f"{100 * v:.0f}%" for v in self.as_tuple()) + ")"
+        if self.long_range_fraction > 0.0:
+            base += f" [long-range {100 * self.long_range_fraction:.0f}%]"
+        return base
 
 
 def kl_divergence(p: Sequence[float] | np.ndarray, q: Sequence[float] | np.ndarray) -> float:
@@ -179,9 +237,21 @@ def kl_divergence(p: Sequence[float] | np.ndarray, q: Sequence[float] | np.ndarr
 
 
 def average_workload(workloads: Iterable[Workload]) -> Workload:
-    """Component-wise mean of a collection of workloads (renormalised)."""
-    arrays = [wl.as_array() for wl in workloads]
+    """Component-wise mean of a collection of workloads (renormalised).
+
+    The long-range fraction is averaged weighted by each workload's range
+    mass (it is a conditional property of the range queries).
+    """
+    collected = list(workloads)
+    arrays = [wl.as_array() for wl in collected]
     if not arrays:
         raise ValueError("cannot average an empty collection of workloads")
     mean = np.mean(arrays, axis=0)
-    return Workload.from_array(mean / mean.sum())
+    range_mass = sum(wl.q for wl in collected)
+    if range_mass > 0.0:
+        fraction = (
+            sum(wl.q * wl.long_range_fraction for wl in collected) / range_mass
+        )
+    else:
+        fraction = 0.0
+    return Workload.from_array(mean / mean.sum(), long_range_fraction=fraction)

@@ -66,13 +66,20 @@ class TestLazyLevelingThroughTheTuners:
             model.workload_cost(w11, result.tuning), rel=1e-6
         )
 
-    def test_all_policy_sweep_reports_three_objectives(self, system, w0):
+    def test_all_policy_sweep_reports_every_policy_objective(self, system, w0):
         result = NominalTuner(
             system=system, policies=ALL_POLICIES, starts_per_policy=2
         ).tune(w0)
         per_policy = result.solver_info["per_policy_objective"]
-        assert set(per_policy) == {"leveling", "tiering", "lazy-leveling"}
-        assert result.tuning.policy.value == min(per_policy, key=per_policy.get)
+        named = {"leveling", "tiering", "lazy-leveling", "1-leveling"}
+        assert named <= set(per_policy)
+        fluid_keys = [key for key in per_policy if key.startswith("fluid[")]
+        assert fluid_keys, "the fluid (K, Z) grid must be swept"
+        # The selected policy is the one whose best spec objective is minimal
+        # (modulo the polish, which can only improve on the sweep's winner).
+        best_key = min(per_policy, key=per_policy.get)
+        best_policy = "fluid" if best_key.startswith("fluid[") else best_key
+        assert result.tuning.policy.value == best_policy
 
     def test_widening_the_policy_space_never_hurts(self, system, w7):
         classic = NominalTuner(system=system, starts_per_policy=2).tune(w7)
@@ -108,9 +115,11 @@ class TestLazyLevelingThroughTheTuners:
                 system=scarce, policies=(policy,), starts_per_policy=2
             ).tune(workload)
             best[policy] = result.objective
-        assert best[Policy.LAZY_LEVELING] <= min(best.values()) + 1e-9
         assert best[Policy.LAZY_LEVELING] < 0.99 * best[Policy.LEVELING]
         assert best[Policy.LAZY_LEVELING] < 0.99 * best[Policy.TIERING]
+        # Fluid is a superset of lazy leveling (K = T-1, Z = 1 is on its
+        # grid), so its tuner-selected optimum can only improve on it.
+        assert best[Policy.FLUID] <= best[Policy.LAZY_LEVELING] + 1e-6
 
 
 class TestGridTunerVectorized:

@@ -7,10 +7,14 @@ from repro.lsm import (
     ALL_POLICIES,
     CLASSIC_POLICIES,
     CompactionPolicy,
+    FluidPolicy,
     LazyLevelingPolicy,
     LevelingPolicy,
+    OneLevelingPolicy,
     Policy,
+    PolicySpec,
     TieringPolicy,
+    expand_policy_specs,
     get_policy,
 )
 
@@ -34,6 +38,12 @@ class TestPolicyFromValue:
         assert Policy.from_value("lazy") is Policy.LAZY_LEVELING
         assert Policy.from_value("lazy_leveling") is Policy.LAZY_LEVELING
         assert Policy.from_value("ll") is Policy.LAZY_LEVELING
+        assert Policy.from_value("one-leveling") is Policy.ONE_LEVELING
+        assert Policy.from_value("1leveling") is Policy.ONE_LEVELING
+        assert Policy.from_value("1l") is Policy.ONE_LEVELING
+        assert Policy.from_value("k-hybrid") is Policy.FLUID
+        assert Policy.from_value("fluid-lsm") is Policy.FLUID
+        assert Policy.from_value("f") is Policy.FLUID
 
     def test_is_case_insensitive(self):
         assert Policy.from_value("LEVELING") is Policy.LEVELING
@@ -60,6 +70,8 @@ class TestPolicyCollection:
         assert ALL_POLICIES[0] is Policy.LEVELING
         assert ALL_POLICIES[1] is Policy.TIERING
         assert ALL_POLICIES[2] is Policy.LAZY_LEVELING
+        assert ALL_POLICIES[3] is Policy.ONE_LEVELING
+        assert ALL_POLICIES[4] is Policy.FLUID
 
     def test_classic_policies_is_the_paper_pair(self):
         assert CLASSIC_POLICIES == (Policy.LEVELING, Policy.TIERING)
@@ -165,3 +177,114 @@ class TestRuntimeHooks:
         lazy = Policy.LAZY_LEVELING.strategy
         assert lazy.bulk_load_fill_fraction(2, 4, headroom) == 1.0
         assert lazy.bulk_load_fill_fraction(4, 4, headroom) == headroom
+
+    def test_one_leveling_merges_only_on_the_first_level(self):
+        strategy = Policy.ONE_LEVELING.strategy
+        assert isinstance(strategy, OneLevelingPolicy)
+        assert strategy.merges_on_arrival(1, 4)
+        assert not strategy.merges_on_arrival(2, 4)
+        assert not strategy.merges_on_arrival(4, 4)
+        # A single-level tree degenerates to plain leveling.
+        assert strategy.merges_on_arrival(1, 1)
+
+    def test_fluid_merges_on_arrival_tracks_unit_bounds(self):
+        assert FluidPolicy(k_bound=1, z_bound=1).merges_on_arrival(1, 4)
+        assert FluidPolicy(k_bound=1, z_bound=1).merges_on_arrival(4, 4)
+        assert not FluidPolicy(k_bound=3, z_bound=1).merges_on_arrival(1, 4)
+        assert FluidPolicy(k_bound=3, z_bound=1).merges_on_arrival(4, 4)
+        assert not FluidPolicy(k_bound=3, z_bound=2).merges_on_arrival(4, 4)
+        # The default fluid instance is lazy-leveling shaped: tiered upper
+        # levels, one leveled run at the largest.
+        assert not Policy.FLUID.strategy.merges_on_arrival(1, 4)
+        assert Policy.FLUID.strategy.merges_on_arrival(4, 4)
+
+    def test_fluid_per_level_run_triggers(self):
+        fluid = FluidPolicy(k_bound=3, z_bound=2)
+        assert fluid.max_resident_runs(8, level=1, last_level=4) == 3
+        assert fluid.max_resident_runs(8, level=4, last_level=4) == 2
+        # Bounds clamp to the feasible [1, T-1] range.
+        assert fluid.max_resident_runs(3, level=1, last_level=4) == 2
+        assert fluid.max_resident_runs(2, level=1, last_level=4) == 1
+        assert FluidPolicy(k_bound=64).max_resident_runs(5, 1, 4) == 4
+
+    def test_only_fluid_compacts_within_a_level(self):
+        for policy in (
+            Policy.LEVELING, Policy.TIERING, Policy.LAZY_LEVELING, Policy.ONE_LEVELING
+        ):
+            assert not policy.strategy.compacts_within_level(2, 4)
+        assert Policy.FLUID.strategy.compacts_within_level(2, 4)
+
+
+class TestFluidAnalytics:
+    LEVELS = np.arange(1.0, 6.0)
+
+    def test_runs_follow_the_bounds(self):
+        fluid = FluidPolicy(k_bound=3, z_bound=2)
+        runs = fluid.runs_per_level(7.0, self.LEVELS, 5.0)
+        assert np.all(runs[:-1] == 3.0)
+        assert runs[-1] == 2.0
+
+    def test_merge_factor_interpolates_the_classical_formulas(self):
+        fluid = FluidPolicy(k_bound=3, z_bound=1)
+        merges = fluid.merge_factor(9.0, self.LEVELS, 5.0)
+        assert np.allclose(merges[:-1], 8.0 / 4.0)
+        assert merges[-1] == pytest.approx(4.0)
+
+    def test_bounds_clamp_to_the_feasible_range(self):
+        fluid = FluidPolicy(k_bound=64, z_bound=16)
+        runs = fluid.runs_per_level(5.0, self.LEVELS, 5.0)
+        assert np.all(runs == 4.0)  # clamped to T - 1
+
+    def test_one_leveling_levels_only_the_first(self):
+        one = Policy.ONE_LEVELING.strategy
+        runs = one.runs_per_level(7.0, self.LEVELS, 5.0)
+        assert runs[0] == 1.0
+        assert np.all(runs[1:] == 6.0)
+        merges = one.merge_factor(8.0, self.LEVELS, 5.0)
+        assert merges[0] == pytest.approx(3.5)
+        assert np.allclose(merges[1:], 7.0 / 8.0)
+
+
+class TestPolicySpecs:
+    def test_spec_of_coerces_strings_and_enums(self):
+        assert PolicySpec.of("tiering").policy is Policy.TIERING
+        spec = PolicySpec(Policy.FLUID, k_bound=4, z_bound=2)
+        assert PolicySpec.of(spec) is spec
+
+    def test_classical_specs_reject_run_bounds(self):
+        with pytest.raises(ValueError):
+            PolicySpec(Policy.LEVELING, k_bound=2)
+
+    def test_spec_names_are_stable(self):
+        assert PolicySpec(Policy.LEVELING).name == "leveling"
+        assert PolicySpec(Policy.FLUID, k_bound=4, z_bound=1).name == "fluid[K=4,Z=1]"
+
+    def test_expansion_covers_the_classical_corners(self):
+        specs = expand_policy_specs([Policy.FLUID], max_size_ratio=20)
+        pairs = {(s.k_bound, s.z_bound) for s in specs}
+        assert (1.0, 1.0) in pairs  # leveling corner
+        assert (19.0, 19.0) in pairs  # tiering corner (K = Z = T - 1)
+        assert (19.0, 1.0) in pairs  # lazy-leveling corner
+        assert all(s.policy is Policy.FLUID for s in specs)
+
+    def test_expansion_passes_classical_policies_through(self):
+        specs = expand_policy_specs([Policy.LEVELING, Policy.TIERING])
+        assert [s.policy for s in specs] == [Policy.LEVELING, Policy.TIERING]
+        assert all(s.k_bound is None for s in specs)
+
+    def test_explicit_specs_are_kept_verbatim(self):
+        pinned = PolicySpec(Policy.FLUID, k_bound=7, z_bound=3)
+        specs = expand_policy_specs([pinned])
+        assert specs == (pinned,)
+
+    def test_strategy_binding_for_tuning(self):
+        from repro.lsm import LSMTuning
+
+        tuning = LSMTuning(8.0, 4.0, Policy.FLUID, k_bound=3, z_bound=2)
+        strategy = tuning.strategy
+        assert isinstance(strategy, FluidPolicy)
+        assert strategy.k_bound == 3.0
+        assert strategy.z_bound == 2.0
+        # Classical tunings keep their stateless singletons.
+        classic = LSMTuning(8.0, 4.0, Policy.LEVELING)
+        assert classic.strategy is Policy.LEVELING.strategy

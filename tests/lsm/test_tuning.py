@@ -93,3 +93,53 @@ class TestSerialisation:
         assert "tiering" in text
         assert "7.5" in text
         assert "3.2" in text or "3.3" in text
+
+
+class TestFluidBounds:
+    def test_fluid_defaults_to_lazy_leveling_shape(self):
+        tuning = LSMTuning(8.0, 4.0, Policy.FLUID)
+        assert tuning.k_bound == 7.0  # T - 1
+        assert tuning.z_bound == 1.0
+
+    def test_classical_policies_normalise_bounds_to_none(self):
+        tuning = LSMTuning(8.0, 4.0, Policy.LEVELING, k_bound=3.0, z_bound=2.0)
+        assert tuning.k_bound is None
+        assert tuning.z_bound is None
+        # ... so equality is independent of how the tuning was built.
+        assert tuning == LSMTuning(8.0, 4.0, Policy.LEVELING)
+
+    def test_rejects_sub_unit_bounds(self):
+        with pytest.raises(ValueError):
+            LSMTuning(8.0, 4.0, Policy.FLUID, k_bound=0.5)
+        with pytest.raises(ValueError):
+            LSMTuning(8.0, 4.0, Policy.FLUID, z_bound=0.0)
+
+    def test_round_trip_preserves_bounds(self):
+        tuning = LSMTuning(8.0, 4.0, Policy.FLUID, k_bound=3.0, z_bound=2.0)
+        assert LSMTuning.from_dict(tuning.to_dict()) == tuning
+
+    def test_classical_serialisation_has_no_bound_keys(self):
+        tuning = LSMTuning(8.0, 4.0, Policy.TIERING)
+        assert set(tuning.to_dict()) == {"size_ratio", "bits_per_entry", "policy"}
+
+    def test_rounded_clamps_bounds_to_the_deployable_range(self):
+        tuning = LSMTuning(4.4, 4.0, Policy.FLUID, k_bound=7.6, z_bound=1.4)
+        rounded = tuning.rounded()
+        assert rounded.size_ratio == 4.0
+        assert rounded.k_bound == 3.0  # min(round(7.6), T - 1)
+        assert rounded.z_bound == 1.0
+
+    def test_with_policy_materialises_and_drops_bounds(self):
+        fluid = LSMTuning(8.0, 4.0, Policy.TIERING).with_policy(Policy.FLUID)
+        assert fluid.k_bound == 7.0 and fluid.z_bound == 1.0
+        back = fluid.with_policy("tiering")
+        assert back.k_bound is None and back.z_bound is None
+
+    def test_with_bounds_builds_a_fluid_copy(self):
+        tuning = LSMTuning(8.0, 4.0, Policy.LEVELING).with_bounds(3.0, 2.0)
+        assert tuning.policy is Policy.FLUID
+        assert (tuning.k_bound, tuning.z_bound) == (3.0, 2.0)
+
+    def test_describe_includes_the_bounds(self):
+        text = LSMTuning(8.0, 4.0, Policy.FLUID, k_bound=3.0, z_bound=2.0).describe()
+        assert "K: 3" in text and "Z: 2" in text

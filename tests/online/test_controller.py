@@ -111,6 +111,32 @@ class TestControllerExecution:
         # No entries were lost by the rebuild (writes keep landing after it).
         assert controller.tree.num_entries >= before_entries
 
+    def test_retuning_prices_the_expected_long_range_fraction(
+        self, tiny_system, key_space
+    ):
+        """The stream only reveals the four query-type proportions, so the
+        expected workload's short/long range split must be carried onto the
+        observed estimate before re-tuning — otherwise the re-tuner would
+        price range queries as all-short and could migrate to a design the
+        long-range regime penalises."""
+        expected = Workload(0.32, 0.32, 0.32, 0.04, long_range_fraction=0.6)
+        config = OnlineConfig(
+            window=150,
+            check_interval=32,
+            min_observations=64,
+            cooldown=256,
+            confirm_checks=2,
+            rho=0.5,
+            mode="nominal",
+            horizon_ops=50_000,
+        )
+        controller = _controller(tiny_system, key_space, config, expected)
+        trace = TraceGenerator(key_space, seed=9)
+        controller.execute(trace.operations(Workload(0.0, 0.0, 0.0, 1.0), 1_500))
+        assert controller.events, "the drifted stream must fire at least once"
+        for event in controller.events:
+            assert event.observed.long_range_fraction == pytest.approx(0.6)
+
     def test_migration_io_is_charged_as_compaction_traffic(
         self, tiny_system, key_space
     ):

@@ -74,14 +74,16 @@ class TestPolicyFlag:
         assert payload["policies"] == ["lazy-leveling"]
         assert payload["nominal"]["policy"] == "lazy-leveling"
 
-    def test_tune_policy_all_searches_three_policies(self, capsys):
+    def test_tune_policy_all_searches_every_policy(self, capsys):
         code = main(
             ["tune", "--workload", "0.25", "0.25", "0.25", "0.25", "--rho", "0",
              "--policy", "all"]
         )
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["policies"] == ["leveling", "tiering", "lazy-leveling"]
+        assert payload["policies"] == [
+            "leveling", "tiering", "lazy-leveling", "1-leveling", "fluid"
+        ]
 
     def test_tune_policy_classic_matches_the_paper_pair(self, capsys):
         code = main(
@@ -180,6 +182,38 @@ class TestSeedFlag:
         first = _run_main(capsys, _ONLINE_SMOKE_ARGS + ["--json"])
         second = _run_main(capsys, _ONLINE_SMOKE_ARGS + ["--json"])
         assert first == second
+
+    def test_tune_fluid_same_seed_is_byte_identical(self, capsys):
+        """`tune --seed N` twice -> byte-identical JSON, fluid search space
+        included (the (K, Z) sweep and the seeded polish are deterministic)."""
+        argv = [
+            "tune", "--workload", "0.1", "0.3", "0.1", "0.5",
+            "--rho", "0.25", "--policy", "fluid",
+            "--long-range-fraction", "0.3", "--seed", "7",
+        ]
+        first = _run_main(capsys, argv)
+        second = _run_main(capsys, argv)
+        assert first == second
+        payload = json.loads(first)
+        assert payload["nominal"]["policy"] == "fluid"
+        assert {"k_bound", "z_bound"} <= set(payload["nominal"])
+        assert {"k_bound", "z_bound"} <= set(payload["robust"])
+
+    def test_compare_fluid_same_seed_is_byte_identical(self, capsys):
+        """`compare --seed N` twice -> byte-identical JSON for a fluid tuning
+        deployed on the simulator with a mixed short/long range trace."""
+        argv = [
+            "compare", "--expected-index", "11", "--rho", "0.25",
+            "--num-entries", "3000", "--policy", "fluid",
+            "--long-range-fraction", "0.4", "--long-scan-keys", "128",
+            "--seed", "31", "--json",
+        ]
+        first = _run_main(capsys, argv)
+        second = _run_main(capsys, argv)
+        assert first == second
+        payload = json.loads(first)
+        assert payload["tunings"]["nominal"]["policy"] == "fluid"
+        assert payload["expected_workload"]["long_range_fraction"] == 0.4
 
 
 class TestCompareJson:

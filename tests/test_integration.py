@@ -11,9 +11,10 @@ import pytest
 
 from repro.analysis import SystemExperiment, delta_throughput, win_rate
 from repro.core import NominalTuner, RobustTuner, UncertaintyRegion
-from repro.lsm import LSMCostModel, SystemConfig, simulator_system
-from repro.storage import ExecutorConfig
-from repro.workloads import UncertaintyBenchmark, expected_workload
+from repro.lsm import LSMCostModel, LSMTuning, Policy, simulator_system
+from repro.storage import ExecutorConfig, WorkloadExecutor
+from repro.workloads import UncertaintyBenchmark, Workload, expected_workload
+from repro.workloads.sessions import Session, SessionSequence, SessionType
 
 
 class TestModelPipeline:
@@ -64,6 +65,94 @@ class TestModelPipeline:
             nominal_worst = region.worst_case_cost(model.cost_vector(nominal.tuning))
             robust_worst = region.worst_case_cost(model.cost_vector(robust.tuning))
             assert robust_worst <= nominal_worst + 1e-6
+
+
+class TestModelSimulatorAgreement:
+    """Measured I/Os per operation vs the analytical prediction, per policy.
+
+    One fixed trace per query type is replayed under every registered policy
+    (including a fluid tuning with interior run bounds) and the measured
+    I/Os per operation are compared against the corresponding component of
+    ``LSMCostModel``'s prediction.  The model is a *steady-state worst case*
+    — runs per level at their bound, every qualifying run seeked — while the
+    simulator is an average case with fence pointers and partially filled
+    levels, so the tolerance is per query type:
+
+    * non-empty reads are tightly predicted (every lookup really pays its
+      residence-level page),
+    * writes agree within the compaction-amortisation noise of a short
+      session,
+    * empty reads and range seeks are upper-bounded by the model (Bloom
+      filters and fence pointers only ever remove I/Os) but must stay within
+      a constant factor, or the model would be useless for tuning.
+    """
+
+    #: Policies deployed on the simulator, exercising every runtime hook.
+    POLICY_TUNINGS = [
+        LSMTuning(6.0, 6.0, Policy.LEVELING),
+        LSMTuning(6.0, 6.0, Policy.TIERING),
+        LSMTuning(6.0, 6.0, Policy.LAZY_LEVELING),
+        LSMTuning(6.0, 6.0, Policy.ONE_LEVELING),
+        LSMTuning(6.0, 6.0, Policy.FLUID, k_bound=3, z_bound=1),
+        LSMTuning(6.0, 6.0, Policy.FLUID, k_bound=2, z_bound=2),
+    ]
+
+    #: (measured / predicted) bands per query-type session.
+    TOLERANCES = {
+        "z1": (0.75, 1.25),
+        "w": (0.4, 1.3),
+        "z0": (0.25, 1.25),
+        "q": (0.1, 1.1),
+    }
+
+    SESSION_WORKLOADS = {
+        "z0": Workload(0.98, 0.01, 0.0, 0.01),
+        "z1": Workload(0.01, 0.98, 0.0, 0.01),
+        "q": Workload(0.01, 0.01, 0.97, 0.01),
+        "w": Workload(0.01, 0.01, 0.0, 0.98),
+    }
+
+    @pytest.fixture(scope="class")
+    def harness(self):
+        system = simulator_system(num_entries=6_000)
+        executor = WorkloadExecutor(
+            system, ExecutorConfig(queries_per_workload=800, seed=17)
+        )
+        return system, executor, LSMCostModel(system)
+
+    @pytest.mark.parametrize(
+        "tuning", POLICY_TUNINGS, ids=lambda t: t.describe().replace(" ", "")
+    )
+    def test_measured_ios_track_model_predictions(self, harness, tuning):
+        _, executor, model = harness
+        for name, workload in self.SESSION_WORKLOADS.items():
+            session = Session(SessionType.EXPECTED, name, (workload,))
+            sequence = SessionSequence(expected=workload, sessions=(session,))
+            measured = executor.run_sequence(tuning, sequence).sessions[0].ios_per_query
+            predicted = model.workload_cost(workload, tuning)
+            ratio = measured / predicted
+            lo, hi = self.TOLERANCES[name]
+            assert lo <= ratio <= hi, (
+                f"{tuning.describe()} {name}: measured {measured:.3f} vs "
+                f"predicted {predicted:.3f} (ratio {ratio:.2f} outside [{lo}, {hi}])"
+            )
+
+    def test_fluid_write_cost_interpolates_on_the_simulator(self, harness):
+        """Measured write I/O of fluid (K = 3) lies between its leveling and
+        tiering corners — the runtime really executes the bounded-K merge
+        schedule the analytics amortise."""
+        _, executor, _ = harness
+        workload = self.SESSION_WORKLOADS["w"]
+        session = Session(SessionType.EXPECTED, "w", (workload,))
+        sequence = SessionSequence(expected=workload, sessions=(session,))
+
+        def measured(tuning):
+            return executor.run_sequence(tuning, sequence).sessions[0].ios_per_query
+
+        leveled = measured(LSMTuning(6.0, 6.0, Policy.FLUID, k_bound=1, z_bound=1))
+        interior = measured(LSMTuning(6.0, 6.0, Policy.FLUID, k_bound=3, z_bound=1))
+        tiered = measured(LSMTuning(6.0, 6.0, Policy.FLUID, k_bound=5, z_bound=5))
+        assert tiered < interior < leveled
 
 
 class TestSystemPipeline:

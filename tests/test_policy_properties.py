@@ -1,0 +1,281 @@
+"""Property-based suite pinning the enlarged compaction-policy space.
+
+The fluid LSM (per-level run bounds K/Z) and the short/long range-query
+split enlarge the design space the model, simulator and tuners must agree
+on.  This module pins the invariants that keep them consistent as the space
+grows:
+
+* **batch/scalar parity** — for every registered policy (and a spread of
+  fluid ``(K, Z)`` bounds), ``cost_matrix`` equals the scalar
+  ``cost_vector`` to 1e-9, at every long-range fraction;
+* **positivity** — every cost component is positive and finite across the
+  whole design box;
+* **special-case recovery** — leveling, tiering and lazy leveling are exact
+  (to 1e-12) corners of the fluid family (``K = Z = 1``,
+  ``K = Z = T - 1``, ``K = T - 1, Z = 1``);
+* **zero-weight guard** — a workload without range queries never evaluates
+  the selectivity split into its cost, so a degenerate (infinite) range
+  component cannot poison it via ``0 · inf`` (mirroring the robust dual's
+  zero-weight fix of PR 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GridTuner, NominalTuner, RobustTuner
+from repro.lsm import (
+    ALL_POLICIES,
+    FluidPolicy,
+    LSMCostModel,
+    LSMTuning,
+    Policy,
+    PolicySpec,
+    SystemConfig,
+)
+from repro.workloads import Workload
+
+_SYSTEM = SystemConfig()
+_MODEL = LSMCostModel(_SYSTEM)
+
+#: Fluid (K, Z) bounds exercised alongside the registered policies: the
+#: three classical corners plus interior points (including bounds that get
+#: clamped at small T).
+_FLUID_BOUNDS: tuple[tuple[float, float], ...] = (
+    (1.0, 1.0),
+    (2.0, 1.0),
+    (3.0, 2.0),
+    (8.0, 4.0),
+    (64.0, 1.0),
+)
+
+#: Every policy spec the suite sweeps: one spec per registered policy (the
+#: fluid entry carrying its default bounds) plus the parameterised fluid
+#: variants above.
+_ALL_SPECS: tuple[PolicySpec, ...] = tuple(
+    PolicySpec(policy) for policy in ALL_POLICIES
+) + tuple(PolicySpec(Policy.FLUID, k_bound=k, z_bound=z) for k, z in _FLUID_BOUNDS)
+
+
+def _spec_ids(spec: PolicySpec) -> str:
+    return spec.name
+
+
+def _tuning_of(spec: PolicySpec, size_ratio: float, bits: float) -> LSMTuning:
+    return LSMTuning(
+        size_ratio=size_ratio,
+        bits_per_entry=bits,
+        policy=spec.policy,
+        k_bound=spec.k_bound,
+        z_bound=spec.z_bound,
+    )
+
+
+#: Seeded random design grid shared by the non-hypothesis parity sweeps.
+_RNG = np.random.default_rng(20260729)
+_RATIOS = np.sort(
+    np.concatenate([[2.0], _RNG.uniform(2.0, _SYSTEM.max_size_ratio, size=9)])
+)
+_BITS = np.sort(
+    np.concatenate(
+        [[0.0], _RNG.uniform(0.0, _SYSTEM.max_bits_per_entry - 0.01, size=7)]
+    )
+)
+
+
+class TestBatchScalarParity:
+    @pytest.mark.parametrize("spec", _ALL_SPECS, ids=_spec_ids)
+    @pytest.mark.parametrize("nu", [0.0, 0.35, 1.0])
+    def test_cost_matrix_matches_scalar_costs(self, spec, nu):
+        """`cost_matrix` == scalar `cost_vector` to 1e-9 on a random grid."""
+        matrix = _MODEL.cost_matrix(_RATIOS, _BITS, spec, long_range_fraction=nu)
+        for i, ratio in enumerate(_RATIOS):
+            for j, bits in enumerate(_BITS):
+                scalar = _MODEL.cost_vector(
+                    _tuning_of(spec, float(ratio), float(bits)), nu
+                )
+                np.testing.assert_allclose(
+                    matrix[i, j], scalar, atol=1e-9, rtol=1e-9,
+                    err_msg=f"{spec.name} at T={ratio}, h={bits}, nu={nu}",
+                )
+
+    @pytest.mark.parametrize("spec", _ALL_SPECS, ids=_spec_ids)
+    def test_costs_positive_and_finite(self, spec):
+        for nu in (0.0, 0.5, 1.0):
+            matrix = _MODEL.cost_matrix(_RATIOS, _BITS, spec, long_range_fraction=nu)
+            assert np.all(matrix > 0.0), spec.name
+            assert np.all(np.isfinite(matrix)), spec.name
+
+
+class TestFluidSpecialCases:
+    """Leveling / tiering / lazy leveling are exact corners of fluid."""
+
+    size_ratios = st.floats(min_value=2.0, max_value=100.0, allow_nan=False)
+    bits = st.floats(
+        min_value=0.0, max_value=_SYSTEM.max_bits_per_entry - 0.01, allow_nan=False
+    )
+    nus = st.sampled_from([0.0, 0.25, 1.0])
+
+    @given(size_ratio=size_ratios, bits=bits, nu=nus)
+    @settings(max_examples=60, deadline=None)
+    def test_k1_z1_is_exactly_leveling(self, size_ratio, bits, nu):
+        fluid = LSMTuning(size_ratio, bits, Policy.FLUID, k_bound=1, z_bound=1)
+        leveled = LSMTuning(size_ratio, bits, Policy.LEVELING)
+        np.testing.assert_allclose(
+            _MODEL.cost_vector(fluid, nu), _MODEL.cost_vector(leveled, nu), atol=1e-12
+        )
+
+    @given(size_ratio=size_ratios, bits=bits, nu=nus)
+    @settings(max_examples=60, deadline=None)
+    def test_k_z_tminus1_is_exactly_tiering(self, size_ratio, bits, nu):
+        bound = size_ratio - 1.0
+        fluid = LSMTuning(
+            size_ratio, bits, Policy.FLUID, k_bound=bound, z_bound=bound
+        )
+        tiered = LSMTuning(size_ratio, bits, Policy.TIERING)
+        np.testing.assert_allclose(
+            _MODEL.cost_vector(fluid, nu), _MODEL.cost_vector(tiered, nu), atol=1e-12
+        )
+
+    @given(size_ratio=size_ratios, bits=bits, nu=nus)
+    @settings(max_examples=60, deadline=None)
+    def test_default_fluid_is_exactly_lazy_leveling(self, size_ratio, bits, nu):
+        fluid = LSMTuning(size_ratio, bits, Policy.FLUID)  # K = T-1, Z = 1
+        lazy = LSMTuning(size_ratio, bits, Policy.LAZY_LEVELING)
+        np.testing.assert_allclose(
+            _MODEL.cost_vector(fluid, nu), _MODEL.cost_vector(lazy, nu), atol=1e-12
+        )
+
+    @given(size_ratio=size_ratios, bits=bits)
+    @settings(max_examples=40, deadline=None)
+    def test_fluid_interpolates_between_its_corners(self, size_ratio, bits):
+        """Interior K sits between the leveling and tiering corners on every
+        cost component (reads increase with K, writes decrease)."""
+        interior = FluidPolicy(k_bound=min(3.0, size_ratio - 1.0), z_bound=1.0)
+        levels = np.arange(1.0, 6.0)
+        runs = interior.runs_per_level(size_ratio, levels, 6.0)
+        assert np.all(runs >= 1.0 - 1e-12)
+        assert np.all(runs <= size_ratio - 1.0 + 1e-12)
+        merges = interior.merge_factor(size_ratio, levels, 6.0)
+        assert np.all(merges <= (size_ratio - 1.0) / 2.0 + 1e-12)
+        assert np.all(merges >= (size_ratio - 1.0) / size_ratio - 1e-12)
+
+
+class TestRangeSplitProperties:
+    @pytest.mark.parametrize("spec", _ALL_SPECS, ids=_spec_ids)
+    def test_blend_is_monotone_between_the_regimes(self, spec):
+        """Q(ν) is the convex blend of the short and long costs."""
+        tuning = _tuning_of(spec, 8.0, 5.0)
+        short = _MODEL.short_range_cost(tuning)
+        long = _MODEL.long_range_cost(tuning)
+        blended = _MODEL.range_read_cost(tuning, 0.4)
+        assert blended == pytest.approx(0.6 * short + 0.4 * long, rel=1e-12)
+        assert min(short, long) - 1e-12 <= blended <= max(short, long) + 1e-12
+
+    def test_long_ranges_penalise_stacked_largest_levels(self):
+        """The long-range worst case is what separates Z: tiering pays the
+        multi-run largest level, lazy leveling and fluid (Z = 1) do not."""
+        tiered = LSMTuning(8.0, 5.0, Policy.TIERING)
+        lazy = LSMTuning(8.0, 5.0, Policy.LAZY_LEVELING)
+        fluid = LSMTuning(8.0, 5.0, Policy.FLUID, k_bound=7, z_bound=1)
+        assert _MODEL.long_range_cost(tiered) > _MODEL.long_range_cost(lazy)
+        assert _MODEL.long_range_cost(fluid) == pytest.approx(
+            _MODEL.long_range_cost(lazy), rel=1e-12
+        )
+
+    def test_zero_fraction_reproduces_the_pre_split_cost(self):
+        for spec in _ALL_SPECS:
+            tuning = _tuning_of(spec, 6.0, 4.0)
+            assert _MODEL.range_read_cost(tuning) == pytest.approx(
+                _MODEL.short_range_cost(tuning), rel=0
+            )
+
+
+class TestZeroWeightGuard:
+    """A zero range weight must never evaluate — nor be poisoned by — the
+    long-range selectivity split (the 0 · inf regression of the satellite)."""
+
+    #: Workload with no range queries but a (vacuous) long-range fraction.
+    _NO_RANGES = Workload(0.3, 0.3, 0.0, 0.4, long_range_fraction=0.9)
+
+    def test_workload_cost_ignores_an_infinite_range_component(self, monkeypatch):
+        tuning = LSMTuning(8.0, 5.0, Policy.FLUID, k_bound=4, z_bound=2)
+        finite = _MODEL.workload_cost(self._NO_RANGES, tuning)
+        monkeypatch.setattr(
+            LSMCostModel, "long_range_cost", lambda self, t: float("inf")
+        )
+        monkeypatch.setattr(
+            LSMCostModel, "short_range_cost", lambda self, t: float("inf")
+        )
+        guarded = _MODEL.workload_cost(self._NO_RANGES, tuning)
+        assert np.isfinite(guarded)
+        assert guarded == pytest.approx(finite, rel=1e-12)
+
+    def test_cost_matrix_objectives_ignore_infinite_range_columns(self):
+        costs = _MODEL.cost_matrix([4.0, 8.0], [3.0, 6.0], Policy.FLUID, 0.5)
+        poisoned = costs.copy()
+        poisoned[..., 2] = np.inf
+        tuner = NominalTuner(system=_SYSTEM)
+        objective = tuner._objective_from_costs(poisoned, self._NO_RANGES)
+        assert np.all(np.isfinite(objective))
+        np.testing.assert_allclose(
+            objective, tuner._objective_from_costs(costs, self._NO_RANGES)
+        )
+
+    def test_robust_batch_objective_ignores_infinite_range_columns(self):
+        costs = _MODEL.cost_matrix([4.0, 8.0], [3.0, 6.0], Policy.TIERING, 1.0)
+        poisoned = costs.copy()
+        poisoned[..., 2] = np.inf
+        for rho in (0.0, 1.0):
+            tuner = RobustTuner(rho=rho, system=_SYSTEM)
+            objective = tuner._objective_from_costs(poisoned, self._NO_RANGES)
+            assert np.all(np.isfinite(objective)), f"rho={rho}"
+
+    def test_grid_tuner_objective_ignores_infinite_range_columns(self):
+        costs = _MODEL.cost_matrix([4.0, 8.0], [3.0, 6.0], Policy.LEVELING, 1.0)
+        poisoned = costs.copy()
+        poisoned[..., 2] = np.inf
+        tuner = GridTuner(system=_SYSTEM, bits_grid_points=3)
+        values = tuner._objective_grid(self._NO_RANGES, poisoned)
+        assert np.all(np.isfinite(values))
+
+    def test_tuning_a_rangeless_long_fraction_workload_succeeds(self):
+        """End to end: the tuner solves a q = 0 workload that still carries a
+        long-range fraction, without the split ever firing."""
+        result = NominalTuner(
+            system=_SYSTEM,
+            policies=(Policy.FLUID,),
+            ratio_candidates=np.arange(2.0, 12.0),
+            polish=False,
+        ).tune(self._NO_RANGES)
+        assert np.isfinite(result.objective)
+
+
+class TestTunerConsistencyAcrossPolicies:
+    """The fluid family is a superset: its tuned optimum can never be worse
+    than any policy it contains, for any workload (model-level dominance)."""
+
+    workloads = [
+        Workload(0.25, 0.25, 0.25, 0.25),
+        Workload(0.1, 0.2, 0.3, 0.4, long_range_fraction=0.5),
+        Workload(0.05, 0.15, 0.05, 0.75, long_range_fraction=0.2),
+    ]
+
+    @pytest.mark.parametrize("index", range(len(workloads)))
+    def test_fluid_dominates_its_corners(self, index):
+        workload = self.workloads[index]
+        cands = np.arange(2.0, 21.0)
+        costs = {}
+        for policy in (Policy.LEVELING, Policy.TIERING, Policy.LAZY_LEVELING,
+                       Policy.FLUID):
+            costs[policy] = NominalTuner(
+                system=_SYSTEM,
+                policies=(policy,),
+                ratio_candidates=cands,
+                polish=False,
+            ).tune(workload).objective
+        for corner in (Policy.LEVELING, Policy.TIERING, Policy.LAZY_LEVELING):
+            assert costs[Policy.FLUID] <= costs[corner] + 1e-9

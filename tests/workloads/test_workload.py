@@ -157,3 +157,60 @@ class TestKLDivergence:
         assert a.distance_to(b) == pytest.approx(
             kl_divergence(a.as_array(), b.as_array())
         )
+
+
+class TestLongRangeFraction:
+    def test_defaults_to_zero(self):
+        assert Workload(0.25, 0.25, 0.25, 0.25).long_range_fraction == 0.0
+
+    def test_validated_to_the_unit_interval(self):
+        with pytest.raises(ValueError):
+            Workload(0.25, 0.25, 0.25, 0.25, long_range_fraction=1.5)
+        with pytest.raises(ValueError):
+            Workload(0.25, 0.25, 0.25, 0.25, long_range_fraction=-0.1)
+
+    def test_with_long_range_fraction_copies(self):
+        base = Workload(0.25, 0.25, 0.25, 0.25)
+        shifted = base.with_long_range_fraction(0.4)
+        assert shifted.long_range_fraction == 0.4
+        assert shifted.as_tuple() == base.as_tuple()
+
+    def test_round_trips_through_dicts(self):
+        w = Workload(0.1, 0.2, 0.3, 0.4, long_range_fraction=0.5)
+        assert Workload.from_dict(w.as_dict()) == w
+        assert w.as_dict()["long_range_fraction"] == 0.5
+        # Zero fractions stay out of the serialisation (old format preserved).
+        assert "long_range_fraction" not in Workload(0.1, 0.2, 0.3, 0.4).as_dict()
+
+    def test_mix_blends_by_range_mass(self):
+        heavy = Workload(0.1, 0.1, 0.6, 0.2, long_range_fraction=1.0)
+        light = Workload(0.3, 0.3, 0.2, 0.2, long_range_fraction=0.0)
+        mixed = heavy.mix(light, 0.5)
+        # 0.3 of the mixed range mass (0.4) comes from `heavy`'s long ranges.
+        assert mixed.long_range_fraction == pytest.approx(0.75)
+
+    def test_mix_of_rangeless_workloads_has_no_long_fraction(self):
+        a = Workload(0.5, 0.3, 0.0, 0.2, long_range_fraction=0.9)
+        b = Workload(0.2, 0.4, 0.0, 0.4)
+        assert a.mix(b, 0.5).long_range_fraction == 0.0
+
+    def test_average_workload_weights_by_range_mass(self):
+        heavy = Workload(0.1, 0.1, 0.6, 0.2, long_range_fraction=0.5)
+        light = Workload(0.3, 0.3, 0.2, 0.2, long_range_fraction=0.0)
+        averaged = average_workload([heavy, light])
+        assert averaged.long_range_fraction == pytest.approx(0.5 * 0.6 / 0.8)
+
+    def test_smoothed_preserves_the_fraction(self):
+        w = Workload(0.0, 0.2, 0.4, 0.4, long_range_fraction=0.3).smoothed(0.01)
+        assert w.long_range_fraction == 0.3
+
+    def test_describe_mentions_long_ranges_only_when_present(self):
+        assert "long-range" not in Workload(0.25, 0.25, 0.25, 0.25).describe()
+        assert "long-range 40%" in (
+            Workload(0.25, 0.25, 0.25, 0.25, long_range_fraction=0.4).describe()
+        )
+
+    def test_kl_divergence_ignores_the_fraction(self):
+        a = Workload(0.25, 0.25, 0.25, 0.25, long_range_fraction=0.9)
+        b = Workload(0.25, 0.25, 0.25, 0.25)
+        assert a.distance_to(b) == pytest.approx(0.0, abs=1e-12)

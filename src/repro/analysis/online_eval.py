@@ -33,6 +33,7 @@ from ..online.controller import OnlineConfig, RetuningEvent
 from ..storage.executor import (
     AdaptiveSequenceMeasurement,
     ExecutorConfig,
+    SequenceMeasurement,
     WorkloadExecutor,
 )
 from ..workloads.benchmark import UncertaintyBenchmark
@@ -301,13 +302,8 @@ class AdaptiveExperiment:
     ) -> AdaptiveComparison:
         """Execute the full static-vs-adaptive comparison."""
         phases = tuple(SessionType(p) if isinstance(p, str) else p for p in phases)
-        generator = SessionGenerator(self.benchmark, seed=self.seed)
-        sequence = drifting_sequence(
-            generator,
-            expected,
-            phases=phases,
-            sessions_per_phase=sessions_per_phase,
-            workloads_per_session=workloads_per_session,
+        sequence = self._sequence(
+            expected, phases, sessions_per_phase, workloads_per_session
         )
         tunings = self.static_tunings(expected, rho, sequence, phases)
         measurements = self.executor.compare_adaptive(
@@ -318,8 +314,79 @@ class AdaptiveExperiment:
             policies=self.policies,
             parallel=self.parallel,
         )
-        adaptive: AdaptiveSequenceMeasurement = measurements[ADAPTIVE]
+        return self._build_comparison(
+            expected, rho, phases, sequence, tunings, measurements
+        )
 
+    def run_variants(
+        self,
+        expected: Workload,
+        rho: float,
+        variants: Mapping[str, OnlineConfig],
+        phases: Sequence[SessionType | str] = (
+            SessionType.READ,
+            SessionType.WRITE,
+            SessionType.READ,
+        ),
+        sessions_per_phase: int = 3,
+        workloads_per_session: int = 2,
+    ) -> dict[str, AdaptiveComparison]:
+        """One adaptive comparison per online configuration, statics shared.
+
+        The session sequence, the static tunings and their measurements are
+        computed once; each variant then replays the *same* operation stream
+        through its own adaptive executor.  This is the endurance harness:
+        e.g. ``{"full": ..., "incremental": ..., "adaptive-rho": ...}`` over
+        an A→B→A sequence isolates what the migration mode and the
+        drift-aware radius each change, everything else held fixed.
+        """
+        phases = tuple(SessionType(p) if isinstance(p, str) else p for p in phases)
+        sequence = self._sequence(
+            expected, phases, sessions_per_phase, workloads_per_session
+        )
+        tunings = self.static_tunings(expected, rho, sequence, phases)
+        static = dict(self.executor.compare(tunings, sequence, parallel=self.parallel))
+        comparisons: dict[str, AdaptiveComparison] = {}
+        for name, online in variants.items():
+            adaptive = self.executor.run_sequence_adaptive(
+                tunings["nominal"], sequence, online=online, policies=self.policies
+            )
+            measurements: dict[str, SequenceMeasurement] = dict(static)
+            measurements[ADAPTIVE] = adaptive
+            comparisons[name] = self._build_comparison(
+                expected, rho, phases, sequence, tunings, measurements
+            )
+        return comparisons
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _sequence(
+        self,
+        expected: Workload,
+        phases: tuple[SessionType, ...],
+        sessions_per_phase: int,
+        workloads_per_session: int,
+    ) -> SessionSequence:
+        generator = SessionGenerator(self.benchmark, seed=self.seed)
+        return drifting_sequence(
+            generator,
+            expected,
+            phases=phases,
+            sessions_per_phase=sessions_per_phase,
+            workloads_per_session=workloads_per_session,
+        )
+
+    def _build_comparison(
+        self,
+        expected: Workload,
+        rho: float,
+        phases: tuple[SessionType, ...],
+        sequence: SessionSequence,
+        tunings: dict[str, LSMTuning],
+        measurements: Mapping[str, SequenceMeasurement],
+    ) -> AdaptiveComparison:
+        adaptive: AdaptiveSequenceMeasurement = measurements[ADAPTIVE]
         rows = []
         num_phases = len(phases)
         oracle_names = phase_names(phases)
@@ -350,6 +417,148 @@ class AdaptiveExperiment:
             events=adaptive.events,
             final_tuning=adaptive.final_tuning,
         )
+
+
+@dataclass(frozen=True)
+class EnduranceComparison:
+    """Adaptive-executor variants over one returning-phase (A→B→A) sequence.
+
+    Produced by :meth:`AdaptiveExperiment.run_variants`; expects (at least)
+    the three canonical variants:
+
+    * ``"full"`` — all-at-once migrations with a fixed radius,
+    * ``"incremental"`` — the level-by-level migration plan, fixed radius,
+    * ``"adaptive-rho"`` — incremental migrations with the drift-aware
+      (volatility-widened) robust radius.
+    """
+
+    variants: Mapping[str, AdaptiveComparison]
+
+    FULL = "full"
+    INCREMENTAL = "incremental"
+    ADAPTIVE_RHO = "adaptive-rho"
+
+    def __post_init__(self) -> None:
+        required = {self.FULL, self.INCREMENTAL, self.ADAPTIVE_RHO}
+        missing = required - set(self.variants)
+        if missing:
+            raise ValueError(
+                "EnduranceComparison needs the canonical variants "
+                f"{sorted(required)}; missing {sorted(missing)} "
+                "(run_variants accepts arbitrary names — wrap only the "
+                "endurance trio in this comparison)"
+            )
+
+    def worst_session_ios(self, name: str) -> float:
+        """Worst per-session I/Os per query of one variant's adaptive run.
+
+        The endurance suite's spike metric: a full migration concentrates
+        its whole rebuild in the session the detector fired in, an
+        incremental plan spreads it.
+        """
+        return max(row.system_ios[ADAPTIVE] for row in self.variants[name].sessions)
+
+    def summary(self) -> dict[str, float]:
+        """The endurance suite's pinned claims, as one flat mapping."""
+        full = self.variants[self.FULL]
+        incremental = self.variants[self.INCREMENTAL]
+        adaptive_rho = self.variants[self.ADAPTIVE_RHO]
+        full_worst = self.worst_session_ios(self.FULL)
+        incremental_worst = self.worst_session_ios(self.INCREMENTAL)
+        return {
+            "full_worst_session_io": full_worst,
+            "incremental_worst_session_io": incremental_worst,
+            "spike_reduction": 1.0 - incremental_worst / max(full_worst, 1e-12),
+            "full_mean_io": full.mean_ios(ADAPTIVE),
+            "incremental_mean_io": incremental.mean_ios(ADAPTIVE),
+            "oracle_mean_io": incremental.oracle_mean_ios,
+            "incremental_vs_oracle_ratio": incremental.mean_ios(ADAPTIVE)
+            / max(incremental.oracle_mean_ios, 1e-12),
+            "fixed_rho_migrations": float(incremental.num_migrations),
+            "adaptive_rho_migrations": float(adaptive_rho.num_migrations),
+            "adaptive_rho_mean_io": adaptive_rho.mean_ios(ADAPTIVE),
+            "adaptive_rho_migration_pages": float(adaptive_rho.migration_pages),
+            "incremental_migration_pages": float(incremental.migration_pages),
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise the whole endurance comparison to plain data."""
+        return {
+            "variants": {
+                name: comparison.to_dict()
+                for name, comparison in self.variants.items()
+            },
+            "summary": self.summary(),
+        }
+
+
+def format_endurance_comparison(comparison: EnduranceComparison) -> str:
+    """Render an :class:`EnduranceComparison` as a text table."""
+    variants = comparison.variants
+    reference = next(iter(variants.values()))
+    lines = [
+        f"expected workload: {reference.expected.describe()}"
+        f"  rho={reference.rho:g}  (A->B->A endurance)",
+    ]
+    for name, tuning in reference.tunings.items():
+        lines.append(f"  {name + ':':<13}{tuning.describe()}")
+
+    names = list(variants)
+    header = f"  {'session':<18}{'oracle':>13}" + "".join(
+        f"{name:>15}" for name in names
+    )
+    lines.append(header)
+    for index, row in enumerate(reference.sessions):
+        cells = "".join(
+            f"{variants[name].sessions[index].system_ios[ADAPTIVE]:>15.2f}"
+            for name in names
+        )
+        lines.append(f"  {row.session:<18}{row.oracle_ios:>13.2f}" + cells)
+
+    for name in names:
+        comp = variants[name]
+        lines.append(
+            f"  {name}: {comp.num_migrations} migration(s),"
+            f" {comp.migration_pages} pages,"
+            f" worst session {comparison.worst_session_ios(name):.2f} io/q,"
+            f" mean {comp.mean_ios(ADAPTIVE):.2f} io/q,"
+            f" final [{comp.final_tuning.describe()}]"
+        )
+        for event in comp.events:
+            decision = event.decision
+            action = (
+                f"migrated over {event.migration_steps} step(s)"
+                f" to [{decision.proposed.describe()}]"
+                if event.migrated
+                else "declined"
+            )
+            lines.append(
+                f"    drift @ op {event.position}:"
+                f" rho={decision.rho:.2f}"
+                f"  migration={decision.migration_ios:.0f} I/Os -> {action}"
+            )
+
+    summary = comparison.summary()
+    lines.append(
+        "  worst per-session I/O spike:"
+        f" full {summary['full_worst_session_io']:.2f}"
+        f" -> incremental {summary['incremental_worst_session_io']:.2f}"
+        f" ({100 * summary['spike_reduction']:.1f}% lower)"
+    )
+    lines.append(
+        "  mean I/Os per query:"
+        f" full {summary['full_mean_io']:.2f}"
+        f"  incremental {summary['incremental_mean_io']:.2f}"
+        f"  adaptive-rho {summary['adaptive_rho_mean_io']:.2f}"
+        f"  oracle {summary['oracle_mean_io']:.2f}"
+        f"  (incremental {summary['incremental_vs_oracle_ratio']:.2f}x oracle)"
+    )
+    lines.append(
+        "  migrations on the cyclic trace:"
+        f" fixed-rho {summary['fixed_rho_migrations']:.0f}"
+        f" -> adaptive-rho {summary['adaptive_rho_migrations']:.0f}"
+    )
+    return "\n".join(lines)
 
 
 def format_adaptive_comparison(comparison: AdaptiveComparison) -> str:

@@ -40,7 +40,7 @@ from .core.nominal import NominalTuner
 from .core.robust import RobustTuner
 from .lsm.policy import ALL_POLICIES, CLASSIC_POLICIES, Policy
 from .lsm.system import SystemConfig, simulator_system
-from .online.controller import OnlineConfig
+from .online.controller import MIGRATION_MODES, OnlineConfig
 from .online.retuner import RETUNING_MODES
 from .storage.executor import ExecutorConfig
 from .workloads.benchmark import expected_workloads
@@ -49,6 +49,32 @@ from .workloads.workload import Workload
 
 #: ``--policy`` choices: each concrete policy plus the exhaustive sweeps.
 _POLICY_CHOICES = tuple(p.value for p in ALL_POLICIES) + ("classic", "all")
+
+
+def _validated_number(cast, accepts, description):
+    """Argparse type factory: cast ``text`` and bound-check it.
+
+    Rejecting bad values at the parser gives the operator a clear usage
+    error instead of a downstream traceback (a zero window, for instance,
+    used to surface as a ``ValueError`` deep inside the estimator).
+    """
+
+    def parse(text: str):
+        try:
+            value = cast(text)
+        except ValueError:
+            noun = "an integer" if cast is int else "a number"
+            raise argparse.ArgumentTypeError(f"expected {noun}, got {text!r}")
+        if not accepts(value):
+            raise argparse.ArgumentTypeError(f"must be {description}, got {value}")
+        return value
+
+    return parse
+
+
+_positive_int = _validated_number(int, lambda v: v > 0, "a positive integer")
+_non_negative_int = _validated_number(int, lambda v: v >= 0, "a non-negative integer")
+_non_negative_float = _validated_number(float, lambda v: v >= 0, "non-negative")
 
 
 def _workload_from_args(values: Sequence[float]) -> Workload:
@@ -135,6 +161,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_online(args: argparse.Namespace) -> int:
+    if args.rho_adaptive and args.mode != "robust":
+        raise SystemExit(
+            "repro-endure online: error: --rho-adaptive requires --mode robust "
+            "(nominal re-tunings have no radius to widen)"
+        )
     expected = expected_workloads()[args.expected_index].workload
     online = OnlineConfig(
         window=args.window,
@@ -146,6 +177,11 @@ def _cmd_online(args: argparse.Namespace) -> int:
         mode=args.mode,
         rho=args.retune_rho,
         horizon_ops=args.horizon,
+        migration=args.migration,
+        migration_step_ops=args.migration_step_ops,
+        migration_step_pages=args.migration_step_pages,
+        rho_adaptive=args.rho_adaptive,
+        volatility_gain=args.volatility_gain,
     )
     experiment = AdaptiveExperiment(
         system=simulator_system(num_entries=args.num_entries),
@@ -283,8 +319,10 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument(
         "--rho", type=float, default=0.5, help="radius of the static robust tuning"
     )
-    online.add_argument("--num-entries", type=int, default=10_000)
-    online.add_argument("--queries-per-workload", type=int, default=1_000)
+    online.add_argument("--num-entries", type=_positive_int, default=10_000)
+    online.add_argument(
+        "--queries-per-workload", type=_positive_int, default=1_000
+    )
     online.add_argument(
         "--phases",
         nargs="+",
@@ -292,31 +330,34 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[t.value for t in SessionType],
         help="session types of the drift phases, in stream order",
     )
-    online.add_argument("--sessions-per-phase", type=int, default=3)
+    online.add_argument("--sessions-per-phase", type=_positive_int, default=3)
     online.add_argument(
         "--window",
-        type=int,
+        type=_positive_int,
         default=400,
         help="effective window (operations) of the rolling workload estimator",
     )
     online.add_argument(
-        "--check-interval", type=int, default=64, help="operations between drift checks"
+        "--check-interval",
+        type=_positive_int,
+        default=64,
+        help="operations between drift checks",
     )
     online.add_argument(
         "--min-observations",
-        type=int,
+        type=_non_negative_int,
         default=256,
         help="estimator warm-up before drift may fire",
     )
     online.add_argument(
         "--cooldown",
-        type=int,
+        type=_non_negative_int,
         default=2_048,
         help="operations after a firing during which drift is suppressed",
     )
     online.add_argument(
         "--confirm-checks",
-        type=int,
+        type=_positive_int,
         default=5,
         help="consecutive out-of-region checks required before drift fires",
     )
@@ -341,9 +382,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     online.add_argument(
         "--horizon",
-        type=int,
+        type=_positive_int,
         default=12_000,
         help="operations over which a migration's cost must be recouped",
+    )
+    online.add_argument(
+        "--migration",
+        choices=MIGRATION_MODES,
+        default="full",
+        help="migration execution: 'full' rebuilds the tree at the firing, "
+        "'incremental' spreads a level-by-level plan over the stream while "
+        "a mixed old/new state serves queries",
+    )
+    online.add_argument(
+        "--migration-step-ops",
+        type=_positive_int,
+        default=256,
+        help="operations between incremental migration steps",
+    )
+    online.add_argument(
+        "--migration-step-pages",
+        type=_positive_int,
+        default=None,
+        help="page cap per incremental migration step "
+        "(default: one run per step)",
+    )
+    online.add_argument(
+        "--rho-adaptive",
+        action="store_true",
+        help="widen the robust re-tuning radius with the observed "
+        "KL-trajectory volatility (cyclic workloads get tuned once for the "
+        "whole cycle); requires --mode robust",
+    )
+    online.add_argument(
+        "--volatility-gain",
+        type=_non_negative_float,
+        default=2.0,
+        help="multiplier on the KL-trajectory volatility added to rho",
     )
     online.add_argument(
         "--policy",

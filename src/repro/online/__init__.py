@@ -16,8 +16,14 @@ expected workload; this subsystem closes the loop at run time:
   the migration's I/O to the same virtual disk the measurements read.
 """
 
-from .controller import OnlineConfig, OnlineLSMController, RetuningEvent
+from .controller import (
+    MIGRATION_MODES,
+    OnlineConfig,
+    OnlineLSMController,
+    RetuningEvent,
+)
 from .drift import DriftCheck, DriftDetector
+from .migration import MigrationInvariantError, MigrationPlan, MigrationStep
 from .observed import ObservedWorkload
 from .retuner import AdaptiveTuner, RetuningDecision
 
@@ -25,6 +31,10 @@ __all__ = [
     "AdaptiveTuner",
     "DriftCheck",
     "DriftDetector",
+    "MIGRATION_MODES",
+    "MigrationInvariantError",
+    "MigrationPlan",
+    "MigrationStep",
     "ObservedWorkload",
     "OnlineConfig",
     "OnlineLSMController",

@@ -14,11 +14,18 @@ and executes the operation stream through it while running the adaptive loop:
    read out and rebuilt under the new tuning — new size ratio, new
    compaction policy, new Monkey bloom allocation — with every migrated page
    charged to the shared virtual disk as compaction traffic, so adaptivity
-   is honestly priced in the measured I/O stream.
+   is honestly priced in the measured I/O stream.  In ``full`` mode the
+   rebuild happens at the firing (one concentrated spike); in
+   ``incremental`` mode a :class:`~repro.online.migration.MigrationPlan`
+   spreads the same pages over bounded steps while the mixed old/new state
+   keeps serving the stream.
 
 After a migration the detector is re-centred on the workload the new tuning
 was computed for, and its cooldown gives the migration time to pay off
-before the next drift episode may fire.
+before the next drift episode may fire.  With ``rho_adaptive`` enabled the
+re-tuner widens its robust radius by the detector's observed KL-trajectory
+volatility, so a cyclic workload is tuned once for the whole cycle instead
+of migrating back and forth every phase.
 """
 
 from __future__ import annotations
@@ -38,8 +45,14 @@ from ..storage.run import SortedRun
 from ..workloads.traces import Operation
 from ..workloads.workload import Workload
 from .drift import DriftDetector
+from .migration import MigrationPlan
 from .observed import ObservedWorkload
 from .retuner import AdaptiveTuner, RetuningDecision
+
+#: Migration execution modes: rebuild the whole tree in one shot, or spread a
+#: level-by-level :class:`~repro.online.migration.MigrationPlan` over the
+#: operation stream.
+MIGRATION_MODES: tuple[str, ...] = ("full", "incremental")
 
 
 @dataclass
@@ -73,6 +86,24 @@ class OnlineConfig:
     #: Whether re-tunings run the SLSQP polish (the sweep alone is usually
     #: enough online, and much faster).
     polish: bool = False
+    #: Migration execution: ``"full"`` rebuilds the whole tree at the firing
+    #: (one concentrated I/O spike), ``"incremental"`` spreads a level-by-
+    #: level plan over the stream, serving queries from the mixed state.
+    migration: str = "full"
+    #: Operations between incremental migration steps (after the first step,
+    #: which runs at the firing itself).
+    migration_step_ops: int = 256
+    #: Page cap per incremental step; ``None`` moves one run per step.
+    migration_step_pages: int | None = None
+    #: Whether re-tunings widen ρ with the drift detector's observed
+    #: KL-trajectory volatility (cyclic workloads get tuned once for the
+    #: whole cycle instead of migrating every phase).  Requires
+    #: ``mode="robust"`` — a nominal re-tuning has no radius to widen.
+    rho_adaptive: bool = False
+    #: Multiplier on the KL-trajectory volatility added to ρ.
+    volatility_gain: float = 2.0
+    #: Upper bound of the widened radius.
+    rho_cap: float = 4.0
 
     def __post_init__(self) -> None:
         if self.check_interval <= 0:
@@ -81,6 +112,19 @@ class OnlineConfig:
             raise ValueError("threshold must be non-negative")
         if self.rho < 0:
             raise ValueError("rho must be non-negative")
+        if self.migration not in MIGRATION_MODES:
+            raise ValueError(
+                f"migration must be one of {MIGRATION_MODES}, got {self.migration!r}"
+            )
+        if self.migration_step_ops <= 0:
+            raise ValueError("migration_step_ops must be positive")
+        if self.migration_step_pages is not None and self.migration_step_pages <= 0:
+            raise ValueError("migration_step_pages must be positive")
+        if self.rho_adaptive and self.mode != "robust":
+            raise ValueError(
+                "rho_adaptive requires mode='robust': nominal re-tunings have "
+                "no radius to widen"
+            )
 
     @property
     def drift_threshold(self) -> float:
@@ -99,6 +143,10 @@ class RetuningEvent:
     migrated: bool
     migration_read_pages: int
     migration_write_pages: int
+    #: Steps the migration is spread over (1 for a full rebuild; for an
+    #: incremental plan the page totals above are *planned* figures, charged
+    #: to the disk step by step as the plan advances).
+    migration_steps: int = 1
 
     @property
     def migration_pages(self) -> int:
@@ -120,6 +168,7 @@ class RetuningEvent:
             "migrated": self.migrated,
             "migration_read_pages": self.migration_read_pages,
             "migration_write_pages": self.migration_write_pages,
+            "migration_steps": self.migration_steps,
         }
 
 
@@ -171,9 +220,14 @@ class OnlineLSMController:
             horizon_ops=self.config.horizon_ops,
             safety_factor=self.config.safety_factor,
             polish=self.config.polish,
+            rho_adaptive=self.config.rho_adaptive,
+            volatility_gain=self.config.volatility_gain,
+            rho_cap=self.config.rho_cap,
         )
         self.position = 0
         self.events: list[RetuningEvent] = []
+        self._plan: MigrationPlan | None = None
+        self._plan_started = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -188,23 +242,47 @@ class OnlineLSMController:
         """Number of migrations applied so far."""
         return sum(1 for event in self.events if event.migrated)
 
+    @property
+    def migration_in_progress(self) -> bool:
+        """Whether an incremental migration plan is currently executing."""
+        return self._plan is not None
+
+    @property
+    def migration_plan(self) -> MigrationPlan | None:
+        """The active incremental migration plan, if any."""
+        return self._plan
+
     def observed_workload(self) -> Workload | None:
         """The estimator's current workload estimate."""
         return self.estimator.workload()
 
     def resident_pages(self) -> int:
         """Disk pages currently occupied by the tree's runs."""
-        return sum(run.num_pages for runs in self.tree.levels for run in runs)
+        return self.tree.resident_pages
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def apply(self, operation: Operation) -> None:
-        """Execute one operation on the live tree and run the adaptive loop."""
-        self.tree.apply(operation)
+        """Execute one operation on the live tree and run the adaptive loop.
+
+        While an incremental migration plan is in flight the operation is
+        served by the mixed old/new state, the plan advances one step every
+        ``migration_step_ops`` operations, and drift checks are suspended —
+        the detector's cooldown (armed at the firing) is meanwhile running,
+        and the estimator keeps observing, so the loop resumes with a warm
+        window once the plan completes.
+        """
+        if self._plan is not None:
+            self._plan.apply(operation)
+        else:
+            self.tree.apply(operation)
         self.estimator.record_kind(operation.kind)
         self.position += 1
-        if self.position % self.config.check_interval == 0:
+        if self._plan is not None:
+            if (self.position - self._plan_started) % self.config.migration_step_ops == 0:
+                self.advance_migration()
+        elif self.position % self.config.check_interval == 0:
             self.maybe_retune()
 
     def execute(self, operations: Iterable[Operation]) -> None:
@@ -225,6 +303,10 @@ class OnlineLSMController:
         pricing — otherwise a re-tuning could migrate to a design (e.g. a
         multi-run largest level) the long-range regime penalises.
         """
+        if self._plan is not None:
+            # An in-flight migration plan owns the tree; drift checks resume
+            # once it completes (the cooldown armed at its firing still runs).
+            return None
         observed = self.estimator.workload()
         if observed is not None and self.expected.long_range_fraction > 0.0:
             observed = observed.with_long_range_fraction(
@@ -235,14 +317,31 @@ class OnlineLSMController:
         )
         if not check.fired:
             return None
-        decision = self.retuner.retune(observed, self.tree.tuning, self.resident_pages())
+        decision = self.retuner.retune(
+            observed,
+            self.tree.tuning,
+            self.resident_pages(),
+            volatility=self.detector.volatility(),
+        )
         migrated = decision.justified and decision.proposed != self.tree.tuning
         read_pages = write_pages = 0
+        steps = 1
         if migrated:
-            read_pages, write_pages = self._migrate(decision.proposed)
+            if self.config.migration == "incremental":
+                read_pages, write_pages, steps = self._begin_incremental_migration(
+                    decision.proposed
+                )
+            else:
+                read_pages, write_pages = self._migrate(decision.proposed)
             # The new tuning is nominal for the workload it was computed on:
             # watch for the *next* drift relative to that, with fresh cooldown.
-            self.detector.recenter(observed, self.position)
+            # A drift-aware re-tuning solved for a widened radius; the
+            # detector watches the ball the new tuning actually covers
+            # (unless an explicit threshold overrides the coupling).
+            new_rho = None
+            if self.config.rho_adaptive and self.config.threshold is None:
+                new_rho = decision.rho
+            self.detector.recenter(observed, self.position, rho=new_rho)
         event = RetuningEvent(
             position=self.position,
             divergence=check.divergence,
@@ -251,6 +350,7 @@ class OnlineLSMController:
             migrated=migrated,
             migration_read_pages=read_pages,
             migration_write_pages=write_pages,
+            migration_steps=steps,
         )
         self.events.append(event)
         return event
@@ -298,12 +398,7 @@ class OnlineLSMController:
         """
         read_pages = self.resident_pages()
         keys = self._live_keys()
-        replacement = LSMTree(
-            tuning=new_tuning,
-            system=self.system,
-            disk=self.disk,
-            seed=self.tree._seed + self.tree._run_counter + 1,
-        )
+        replacement = self._replacement_tree(new_tuning)
         replacement.bulk_load(keys)
         write_pages = sum(
             run.num_pages for runs in replacement.levels for run in runs
@@ -312,3 +407,55 @@ class OnlineLSMController:
         self.disk.write_pages(write_pages, compaction=True)
         self.tree = replacement
         return read_pages, write_pages
+
+    def _replacement_tree(self, new_tuning: LSMTuning) -> LSMTree:
+        """An empty tree under ``new_tuning`` sharing the live disk."""
+        return LSMTree(
+            tuning=new_tuning,
+            system=self.system,
+            disk=self.disk,
+            seed=self.tree._seed + self.tree._run_counter + 1,
+        )
+
+    def _begin_incremental_migration(
+        self, new_tuning: LSMTuning
+    ) -> tuple[int, int, int]:
+        """Start a level-by-level migration plan towards ``new_tuning``.
+
+        The first step executes at the firing itself (the migration makes
+        observable progress immediately); subsequent steps run every
+        ``migration_step_ops`` operations from :meth:`apply`.  Returns the
+        plan's *planned* read/write page totals — identical to what a full
+        migration would move — and its step count.
+        """
+        plan = MigrationPlan(
+            source=self.tree,
+            target=self._replacement_tree(new_tuning),
+            checkpoint_keys=self._live_keys(),
+            max_step_pages=self.config.migration_step_pages,
+        )
+        totals = (plan.total_read_pages, plan.total_write_pages, plan.num_steps)
+        self._plan = plan
+        self._plan_started = self.position
+        plan.run_next_step()
+        self._maybe_finish_migration()
+        return totals
+
+    def advance_migration(self) -> None:
+        """Run the next step of the active plan (no-op without one)."""
+        if self._plan is None:
+            return
+        self._plan.run_next_step()
+        self._maybe_finish_migration()
+
+    def finish_migration(self) -> None:
+        """Drain every remaining step of the active plan (no-op without one)."""
+        if self._plan is None:
+            return
+        self._plan.run_to_completion()
+        self._maybe_finish_migration()
+
+    def _maybe_finish_migration(self) -> None:
+        if self._plan is not None and self._plan.completed:
+            self.tree = self._plan.target
+            self._plan = None

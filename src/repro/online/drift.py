@@ -25,7 +25,10 @@ Two edge cases are handled explicitly rather than by accident:
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..core.uncertainty import UncertaintyRegion
 from ..workloads.workload import Workload
@@ -65,6 +68,14 @@ class DriftDetector:
         drift episode, by which time the rolling estimator's window has
         flushed the pre-drift mix — so the re-tuner solves for the settled
         new workload, not for a transient blend of old and new.
+    trajectory_window:
+        Number of recent (finite) check divergences kept as the *KL
+        trajectory*.  Its dispersion is the detector's volatility signal: a
+        stream that keeps swinging around its nominal centre — a cyclic
+        HTAP-style workload — shows a high-variance trajectory even when
+        individual checks stay quiet, and the adaptive re-tuner widens its
+        robust radius with it (see
+        :meth:`~repro.online.retuner.AdaptiveTuner.effective_rho`).
     """
 
     def __init__(
@@ -73,6 +84,7 @@ class DriftDetector:
         min_observations: int = 512,
         cooldown: int = 4_096,
         confirm_checks: int = 1,
+        trajectory_window: int = 32,
     ) -> None:
         if min_observations < 0:
             raise ValueError("min_observations must be non-negative")
@@ -80,12 +92,15 @@ class DriftDetector:
             raise ValueError("cooldown must be non-negative")
         if confirm_checks <= 0:
             raise ValueError("confirm_checks must be positive")
+        if trajectory_window <= 1:
+            raise ValueError("trajectory_window must be at least 2")
         self.region = region
         self.min_observations = int(min_observations)
         self.cooldown = int(cooldown)
         self.confirm_checks = int(confirm_checks)
         self._muted_until = 0
         self._consecutive_outside = 0
+        self._trajectory: deque[float] = deque(maxlen=int(trajectory_window))
 
     # ------------------------------------------------------------------
     # Checking
@@ -120,6 +135,10 @@ class DriftDetector:
         ):
             return DriftCheck(position, math.nan, False, "warmup")
         divergence = self.divergence(observed)
+        if math.isfinite(divergence):
+            # Infinite divergences (the zero-weight escape) fire the detector
+            # but carry no magnitude the volatility statistic could use.
+            self._trajectory.append(divergence)
         if divergence <= self.threshold:
             self._consecutive_outside = 0
             return DriftCheck(position, divergence, False, "inside")
@@ -133,19 +152,49 @@ class DriftDetector:
         return DriftCheck(position, divergence, True, "drift")
 
     # ------------------------------------------------------------------
+    # Volatility
+    # ------------------------------------------------------------------
+    @property
+    def trajectory(self) -> tuple[float, ...]:
+        """The windowed KL trajectory (recent finite check divergences)."""
+        return tuple(self._trajectory)
+
+    def volatility(self) -> float:
+        """Dispersion of the windowed KL trajectory (its standard deviation).
+
+        Zero until at least two checks have contributed.  A stationary
+        stream hovers near one divergence level (volatility ≈ 0); a cyclic
+        or thrashing stream sweeps the trajectory up and down, and the
+        resulting spread is what the adaptive re-tuner adds to its robust
+        radius — the square root of the trajectory variance keeps the
+        widening in the same (KL) units as ρ itself.
+        """
+        if len(self._trajectory) < 2:
+            return 0.0
+        return float(np.std(np.asarray(self._trajectory, dtype=float)))
+
+    # ------------------------------------------------------------------
     # State transitions
     # ------------------------------------------------------------------
     def mute(self, position: int) -> None:
         """Suppress firings for ``cooldown`` operations starting at ``position``."""
         self._muted_until = position + self.cooldown
 
-    def recenter(self, expected: Workload, position: int) -> None:
+    def recenter(
+        self, expected: Workload, position: int, rho: float | None = None
+    ) -> None:
         """Re-centre the region on a new nominal workload (after a migration).
 
-        The radius is preserved: the re-tuned configuration covers the same
-        amount of uncertainty around its own nominal workload.  The cooldown
-        is armed so the fresh tuning gets time to pay off.
+        By default the radius is preserved: the re-tuned configuration covers
+        the same amount of uncertainty around its own nominal workload.  A
+        drift-aware re-tuning passes the widened ``rho`` it actually solved
+        for, so the detector watches the ball the new tuning really covers.
+        The cooldown is armed so the fresh tuning gets time to pay off; the
+        KL trajectory is *kept* — volatility is a property of the stream, not
+        of the centre, and forgetting it would make a cyclic workload look
+        calm right after every migration.
         """
-        self.region = UncertaintyRegion(expected=expected, rho=self.region.rho)
+        radius = self.region.rho if rho is None else float(rho)
+        self.region = UncertaintyRegion(expected=expected, rho=radius)
         self._consecutive_outside = 0
         self.mute(position)

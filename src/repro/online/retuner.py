@@ -50,6 +50,10 @@ class RetuningDecision:
     horizon_ops: int
     #: Multiplier on the migration cost the predicted savings must clear.
     safety_factor: float = 1.0
+    #: Uncertainty radius the proposal was solved for: the configured ρ, or
+    #: the volatility-widened radius when drift-aware re-tuning is enabled
+    #: (0 for nominal re-tunings of a non-adaptive tuner).
+    rho: float = 0.0
 
     @property
     def predicted_gain(self) -> float:
@@ -79,6 +83,7 @@ class RetuningDecision:
             "migration_ios": self.migration_ios,
             "horizon_ops": self.horizon_ops,
             "safety_factor": self.safety_factor,
+            "rho": self.rho,
             "predicted_gain": self.predicted_gain,
             "justified": self.justified,
         }
@@ -109,6 +114,20 @@ class AdaptiveTuner:
         is usually enough online, and much faster.
     seed:
         Seed of the tuner's polish starting points.
+    rho_adaptive:
+        Whether the robust radius is widened with the drift detector's
+        observed volatility (see :meth:`effective_rho`).  A cyclic workload
+        keeps re-escaping any tuning computed for either of its phases; the
+        widened ball covers the whole cycle, so the stream is re-tuned once
+        for the cycle instead of migrating back and forth every phase.
+        Requires ``mode="robust"`` — a nominal re-tuning has no radius to
+        widen, and silently widening only the *detector* would leave it
+        watching a ball the deployed tuning does not cover.
+    volatility_gain:
+        Multiplier on the KL-trajectory volatility added to ``rho``.
+    rho_cap:
+        Upper bound of the widened radius (the paper's ρ grid tops out at 4,
+        where robust tunings are essentially workload-agnostic).
     """
 
     def __init__(
@@ -121,6 +140,9 @@ class AdaptiveTuner:
         safety_factor: float = 1.0,
         polish: bool = False,
         seed: int = 0,
+        rho_adaptive: bool = False,
+        volatility_gain: float = 2.0,
+        rho_cap: float = 4.0,
     ) -> None:
         if mode not in RETUNING_MODES:
             raise ValueError(f"mode must be one of {RETUNING_MODES}, got {mode!r}")
@@ -130,11 +152,27 @@ class AdaptiveTuner:
             raise ValueError("horizon_ops must be positive")
         if safety_factor <= 0:
             raise ValueError("safety_factor must be positive")
+        if volatility_gain < 0:
+            raise ValueError("volatility_gain must be non-negative")
+        if rho_adaptive and mode != "robust":
+            raise ValueError(
+                "rho_adaptive requires mode='robust': nominal re-tunings have "
+                "no radius to widen"
+            )
         self.system = system
         self.mode = mode
         self.rho = float(rho)
         self.horizon_ops = int(horizon_ops)
         self.safety_factor = float(safety_factor)
+        self.rho_adaptive = bool(rho_adaptive)
+        self.volatility_gain = float(volatility_gain)
+        # Widening can never cut below the configured radius, so a cap under
+        # rho is simply inert — raised rather than rejected (a large
+        # --retune-rho must not crash a non-adaptive run).
+        self.rho_cap = max(float(rho_cap), self.rho)
+        self._policies = tuple(policies)
+        self._polish = bool(polish)
+        self._seed = int(seed)
         self.cost_model = LSMCostModel(system)
         if mode == "robust":
             self.tuner: NominalTuner | RobustTuner = RobustTuner(
@@ -159,16 +197,49 @@ class AdaptiveTuner:
             raise ValueError("resident_pages must be non-negative")
         return 2.0 * resident_pages
 
+    def effective_rho(self, volatility: float = 0.0) -> float:
+        """The uncertainty radius a re-tuning solves for, given ``volatility``.
+
+        With drift-aware widening enabled, the configured ρ grows by
+        ``volatility_gain`` times the detector's KL-trajectory dispersion
+        (capped at ``rho_cap``): the more the stream has been swinging around
+        its nominal centre, the larger the ball the replacement tuning must
+        cover.  On a cyclic workload the widened ball spans both phases, so
+        one migration serves the whole cycle.
+        """
+        if not self.rho_adaptive or volatility <= 0.0:
+            return self.rho
+        return min(self.rho + self.volatility_gain * float(volatility), self.rho_cap)
+
+    def _tuner_for(self, rho: float) -> NominalTuner | RobustTuner:
+        """The tuner solving a re-tuning of radius ``rho``."""
+        if self.mode != "robust" or rho == self.rho:
+            return self.tuner
+        return RobustTuner(
+            rho=rho,
+            system=self.system,
+            policies=self._policies,
+            polish=self._polish,
+            seed=self._seed,
+        )
+
     def retune(
-        self, observed: Workload, current: LSMTuning, resident_pages: int
+        self,
+        observed: Workload,
+        current: LSMTuning,
+        resident_pages: int,
+        volatility: float = 0.0,
     ) -> RetuningDecision:
         """Solve for the best tuning of ``observed`` and price the switch.
 
         The proposed tuning is deployable (integer size ratio); both it and
         the incumbent are evaluated by the analytical cost model on the same
         observed workload, so the decision compares like with like.
+        ``volatility`` is the drift detector's KL-trajectory dispersion; it
+        widens the robust radius when drift-aware re-tuning is enabled.
         """
-        result = self.tuner.tune(observed)
+        rho = self.effective_rho(volatility)
+        result = self._tuner_for(rho).tune(observed)
         proposed = result.tuning.rounded()
         return RetuningDecision(
             current=current,
@@ -178,4 +249,5 @@ class AdaptiveTuner:
             migration_ios=self.migration_ios(resident_pages),
             horizon_ops=self.horizon_ops,
             safety_factor=self.safety_factor,
+            rho=rho if self.mode == "robust" else 0.0,
         )

@@ -134,6 +134,13 @@ class ExecutorConfig:
     #: Number of keys touched by one long range query (issued for the
     #: ``long_range_fraction`` share of a workload's range lookups).
     long_scan_keys: int = 512
+    #: Fraction of the writes that update an existing key (creating obsolete
+    #: versions the next compaction must consolidate) instead of inserting a
+    #: fresh one.
+    update_fraction: float = 0.0
+    #: Zipf exponent concentrating those updates on a hot key subset (0 =
+    #: uniform over the resident keys).
+    update_skew: float = 0.0
     #: Simulated page read latency in microseconds.
     read_latency_us: float = 100.0
     #: Simulated page write latency in microseconds.
@@ -225,17 +232,27 @@ class WorkloadExecutor:
             trace,
         )
 
+    def trace_generator(self) -> TraceGenerator:
+        """A fresh, deterministically seeded trace generator.
+
+        Every measurement path builds its own from the executor's config, so
+        sequential, parallel and adaptive runs replay bit-identical traces.
+        """
+        return TraceGenerator(
+            key_space=self.key_space,
+            range_scan_keys=self.config.range_scan_keys,
+            long_scan_keys=self.config.long_scan_keys,
+            update_fraction=self.config.update_fraction,
+            update_skew=self.config.update_skew,
+            seed=self.config.seed,
+        )
+
     def run_sequence(
         self, tuning: LSMTuning, sequence: SessionSequence
     ) -> SequenceMeasurement:
         """Bulk-load a fresh tree for ``tuning`` and execute a full sequence."""
         tree = self.build_tree(tuning)
-        trace = TraceGenerator(
-            key_space=self.key_space,
-            range_scan_keys=self.config.range_scan_keys,
-            long_scan_keys=self.config.long_scan_keys,
-            seed=self.config.seed,
-        )
+        trace = self.trace_generator()
         measurements = tuple(
             self.run_session(tree, session, trace) for session in sequence
         )
@@ -305,16 +322,18 @@ class WorkloadExecutor:
             config=online if online is not None else OnlineConfig(),
             policies=policies,
         )
-        trace = TraceGenerator(
-            key_space=self.key_space,
-            range_scan_keys=self.config.range_scan_keys,
-            long_scan_keys=self.config.long_scan_keys,
-            seed=self.config.seed,
-        )
+        trace = self.trace_generator()
         measurements = tuple(
             self._measure_session(controller.disk, controller.execute, session, trace)
             for session in sequence
         )
+        # A migration plan still in flight at stream end is drained now, as
+        # an operator would during quiescence: the trailing steps land on
+        # the shared disk (after the last session's window — per-session
+        # metrics keep their in-stream shape) so the events' page totals are
+        # fully charged, ``final_tuning`` reports the tuning actually
+        # reached, and the target's tombstone hold is released.
+        controller.finish_migration()
         return AdaptiveSequenceMeasurement(
             tuning=tree.tuning,
             sessions=measurements,

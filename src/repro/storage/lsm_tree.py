@@ -49,6 +49,46 @@ class TreeStats:
     filter_memory_bits: int
 
 
+def execute_operation(engine, operation: Operation) -> None:
+    """Dispatch one trace operation to an engine's ``put``/``get``/``range_query``.
+
+    The single place :class:`~repro.workloads.traces.Operation` kinds map to
+    engine calls.  ``engine`` is anything exposing the three methods — the
+    live :class:`LSMTree` and the online subsystem's mixed migration state
+    both route through here, so a new operation kind handled in one
+    measurement path can never be silently mis-routed in the other.
+    """
+    if operation.kind is OperationType.PUT:
+        engine.put(operation.key)
+    elif operation.kind is OperationType.RANGE:
+        engine.range_query(operation.key, operation.key + operation.scan_length)
+    else:
+        engine.get(operation.key)
+
+
+@dataclass(frozen=True)
+class BulkLoadPlan:
+    """The placements a bulk load would install, computed without applying them.
+
+    ``placements`` lists ``(level, run_keys)`` pairs in install order (deepest
+    level first, runs of a level in their natural order); ``leftover`` holds
+    keys that fit no level and go to the memtable; ``deepest`` is the number
+    of disk levels the loaded tree exposes.  Produced by
+    :meth:`LSMTree.plan_bulk_load` and consumed both by
+    :meth:`LSMTree.bulk_load` and by the online subsystem's incremental
+    migration plan — the two therefore place keys *identically*.
+    """
+
+    placements: tuple[tuple[int, np.ndarray], ...]
+    leftover: np.ndarray
+    deepest: int
+
+    @property
+    def num_entries(self) -> int:
+        """Entries placed into disk runs (leftover excluded)."""
+        return sum(piece.size for _, piece in self.placements)
+
+
 class LSMTree:
     """Simulated LSM tree configured by a tuning and a system description.
 
@@ -91,6 +131,10 @@ class LSMTree:
         self.disk = disk if disk is not None else VirtualDisk()
         self._seed = seed
         self._run_counter = 0
+        #: While true, merges never drop tombstones — set by an in-flight
+        #: incremental migration, whose deeper (not yet installed) runs may
+        #: still hold live versions a premature drop would resurrect.
+        self.preserve_tombstones = False
 
         self.entries_per_page = system.entries_per_page
         buffer_entries = int(system.buffer_entries(self.tuning.bits_per_entry))
@@ -207,7 +251,7 @@ class LSMTree:
             runs,
             entries_per_page=self.entries_per_page,
             bits_per_entry=self._bits_for_level(target_level),
-            drop_tombstones=is_last_level,
+            drop_tombstones=is_last_level and not self.preserve_tombstones,
             seed=self._seed + self._run_counter,
         )
         self._run_counter += 1
@@ -304,39 +348,83 @@ class LSMTree:
         page read for every run whose Bloom filter and fence pointers fail to
         rule it out.
         """
+        found, tombstone = self.lookup_entry(key)
+        return found and not tombstone
+
+    def lookup_entry(self, key: int) -> tuple[bool, bool]:
+        """Newest version of ``key``: ``(found, is_tombstone)``, charging I/O.
+
+        The three-state answer (missing / live / deleted) lets a caller
+        layering two trees — the online subsystem's mixed migration state —
+        distinguish "this tree never heard of the key" (fall through to the
+        older tree) from "this tree deleted it" (the deletion shadows any
+        older version).
+        """
         present, tombstone = self.memtable.get(key)
         if present:
-            return not tombstone
+            return True, tombstone
         for runs in self.levels:
             for run in runs:
                 found, tombstone, pages = run.lookup(key)
                 if pages:
                     self.disk.read_pages(pages)
                 if found:
-                    return not tombstone
-        return False
+                    return True, tombstone
+        return False, False
 
     def range_query(self, start_key: int, end_key: int) -> int:
         """Range lookup; returns the number of live keys in the interval.
 
         Every overlapping run pays at least one page read (the seek) plus the
-        sequential pages covered by the interval; results from all runs are
-        merged so each key is counted once.
+        sequential pages covered by the interval; versions from all runs are
+        consolidated newest-first, so an obsolete version — or a live version
+        shadowed by a more recent tombstone — is never counted.
+        """
+        keys, tombstones = self.scan_versions(start_key, end_key)
+        return int(np.count_nonzero(~tombstones))
+
+    def scan_versions(
+        self, start_key: int, end_key: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Newest surviving version of every key in ``[start_key, end_key]``.
+
+        Returns ``(keys, tombstones)`` sorted by key, charging the same page
+        reads as :meth:`range_query`.  Keys whose newest version is a
+        tombstone are *returned* (flagged), not dropped: a caller overlaying
+        this tree on an older snapshot needs the deletions to shadow it.
         """
         if end_key < start_key:
-            return 0
-        collected = [self.memtable.scan(start_key, end_key)]
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        key_parts: list[np.ndarray] = []
+        tombstone_parts: list[np.ndarray] = []
+        buffered_keys, buffered_tombstones = self.memtable.scan_items(
+            start_key, end_key
+        )
+        if buffered_keys.size:
+            key_parts.append(buffered_keys)
+            tombstone_parts.append(buffered_tombstones)
         for runs in self.levels:
             for run in runs:
-                keys, pages = run.scan(start_key, end_key)
+                keys, tombstones, pages = run.scan_entries(start_key, end_key)
                 if pages:
                     self.disk.read_pages(pages)
                 if keys.size:
-                    collected.append(keys)
-        if not collected:
-            return 0
-        merged = np.unique(np.concatenate(collected))
-        return int(merged.size)
+                    key_parts.append(keys)
+                    tombstone_parts.append(tombstones)
+        if not key_parts:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        all_keys = np.concatenate(key_parts)
+        all_tombstones = np.concatenate(tombstone_parts)
+        # Parts were collected newest-first; keep the most recent version.
+        recency = np.concatenate(
+            [np.full(part.size, rank) for rank, part in enumerate(key_parts)]
+        )
+        order = np.lexsort((recency, all_keys))
+        sorted_keys = all_keys[order]
+        sorted_tombstones = all_tombstones[order]
+        keep = np.ones(sorted_keys.size, dtype=bool)
+        keep[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        return sorted_keys[keep], sorted_tombstones[keep]
 
     # ------------------------------------------------------------------
     # Trace operations
@@ -344,17 +432,12 @@ class LSMTree:
     def apply(self, operation: Operation) -> None:
         """Execute one concrete trace operation against the tree.
 
-        The single place the :class:`~repro.workloads.traces.Operation`
-        kinds are dispatched to engine calls — the plain executor replay and
-        the online controller both run the stream through it, so the two
-        measurement paths cannot drift apart.
+        Dispatches through :func:`execute_operation` — the single place the
+        :class:`~repro.workloads.traces.Operation` kinds map to engine calls
+        — so the plain executor replay, the online controller, and the
+        mixed migration state cannot drift apart.
         """
-        if operation.kind is OperationType.PUT:
-            self.put(operation.key)
-        elif operation.kind is OperationType.RANGE:
-            self.range_query(operation.key, operation.key + operation.scan_length)
-        else:
-            self.get(operation.key)
+        execute_operation(self, operation)
 
     # ------------------------------------------------------------------
     # Bulk loading
@@ -371,9 +454,25 @@ class LSMTree:
         capacity so the first trickle of writes does not immediately trigger
         a full rewrite of the largest level.
         """
+        plan = self.plan_bulk_load(keys)
+        self._ensure_level(plan.deepest)
+        for lvl, piece in plan.placements:
+            self.install_bulk_run(piece, lvl)
+        # Anything that still did not fit goes to the memtable (rare).
+        for key in plan.leftover:
+            self.memtable.put(int(key))
+
+    def plan_bulk_load(self, keys: np.ndarray) -> BulkLoadPlan:
+        """Compute the run placements of a bulk load without applying them.
+
+        The returned plan is exactly what :meth:`bulk_load` installs; the
+        online subsystem's incremental migration replays the same placements
+        one bounded step at a time, so the migrated tree is byte-identical to
+        a freshly loaded one.
+        """
         keys = np.unique(np.asarray(keys, dtype=np.int64))
         remaining = keys
-        placements: list[tuple[int, np.ndarray]] = []
+        level_chunks: list[tuple[int, np.ndarray]] = []
         # Levels that merge on arrival trigger compaction on *size*, so bulk
         # loading leaves them headroom below capacity; run-stacking levels
         # trigger on the *run count* and can be loaded to full capacity.  The
@@ -389,16 +488,25 @@ class LSMTree:
                 break
             capacity = self._bulk_load_level_capacity(lvl, deepest)
             take = min(capacity, remaining.size)
-            placements.append((lvl, remaining[remaining.size - take :]))
+            level_chunks.append((lvl, remaining[remaining.size - take :]))
             remaining = remaining[: remaining.size - take]
-        self._ensure_level(deepest)
-        for lvl, chunk in placements:
-            for piece in self._bulk_load_runs(chunk, lvl, deepest):
-                run = self._new_run(piece, np.zeros(piece.size, dtype=bool), lvl)
-                self.levels[lvl - 1].append(run)
-        # Anything that still did not fit goes to the memtable (rare).
-        for key in remaining:
-            self.memtable.put(int(key))
+        placements = tuple(
+            (lvl, piece)
+            for lvl, chunk in level_chunks
+            for piece in self._bulk_load_runs(chunk, lvl, deepest)
+        )
+        return BulkLoadPlan(placements=placements, leftover=remaining, deepest=deepest)
+
+    def install_bulk_run(self, keys: np.ndarray, level: int) -> None:
+        """Install one bulk-planned run at ``level``, charging no I/O.
+
+        The caller is responsible for pricing the install (bulk loading is
+        free by experimental convention; a migration charges the pages to the
+        virtual disk as compaction traffic before installing).
+        """
+        self._ensure_level(level)
+        run = self._new_run(keys, np.zeros(keys.size, dtype=bool), level)
+        self.levels[level - 1].append(run)
 
     def _bulk_load_level_capacity(self, level: int, deepest: int) -> int:
         """Entries bulk loading may place at ``level`` in a ``deepest``-level tree."""
@@ -449,6 +557,11 @@ class LSMTree:
         return len(self.memtable) + sum(
             run.num_entries for runs in self.levels for run in runs
         )
+
+    @property
+    def resident_pages(self) -> int:
+        """Disk pages currently occupied by the tree's runs."""
+        return sum(run.num_pages for runs in self.levels for run in runs)
 
     def stats(self) -> TreeStats:
         """Snapshot of the tree's current shape and memory usage."""

@@ -47,12 +47,23 @@ class Memtable:
 
     def scan(self, start_key: int, end_key: int) -> np.ndarray:
         """Live keys in ``[start_key, end_key]`` currently buffered."""
-        keys = [
-            key
+        keys, tombstones = self.scan_items(start_key, end_key)
+        return keys[~tombstones]
+
+    def scan_items(self, start_key: int, end_key: int) -> tuple[np.ndarray, np.ndarray]:
+        """Buffered versions in ``[start_key, end_key]``: ``(keys, tombstones)``.
+
+        Tombstones are returned (flagged) rather than dropped so a buffered
+        deletion can shadow older live versions residing in disk runs.
+        """
+        items = sorted(
+            (key, tombstone)
             for key, tombstone in self._entries.items()
-            if start_key <= key <= end_key and not tombstone
-        ]
-        return np.array(sorted(keys), dtype=np.int64)
+            if start_key <= key <= end_key
+        )
+        keys = np.array([key for key, _ in items], dtype=np.int64)
+        tombstones = np.array([tombstone for _, tombstone in items], dtype=bool)
+        return keys, tombstones
 
     # ------------------------------------------------------------------
     # State

@@ -195,13 +195,28 @@ class SortedRun:
 
     def scan(self, start_key: int, end_key: int) -> tuple[np.ndarray, int]:
         """Return the live keys in ``[start_key, end_key]`` and pages read."""
+        keys, tombstones, pages = self.scan_entries(start_key, end_key)
+        return keys[~tombstones], pages
+
+    def scan_entries(
+        self, start_key: int, end_key: int
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """All versions in ``[start_key, end_key]``: ``(keys, tombstones, pages)``.
+
+        Unlike :meth:`scan`, tombstoned entries are returned (flagged in the
+        boolean mask) rather than dropped — callers that merge several runs
+        need a run's deletions to shadow older live versions below it.
+        """
         span = self.range_span(start_key, end_key)
         if span.num_pages == 0:
-            return np.empty(0, dtype=np.int64), 0
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool), 0
         lo = int(np.searchsorted(self._keys, start_key, side="left"))
         hi = int(np.searchsorted(self._keys, end_key, side="right"))
-        mask = ~self._tombstones[lo:hi]
-        return self._keys[lo:hi][mask].copy(), span.num_pages
+        return (
+            self._keys[lo:hi].copy(),
+            self._tombstones[lo:hi].copy(),
+            span.num_pages,
+        )
 
     # ------------------------------------------------------------------
     # Construction helpers

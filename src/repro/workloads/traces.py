@@ -11,7 +11,13 @@ concrete operations (get/range/put) against a key domain, mirroring §8.2:
 * range queries are short scans with minimal selectivity; a workload with a
   non-zero ``long_range_fraction`` issues that share of its range queries as
   *long* scans covering ``long_scan_keys`` consecutive keys,
-* writes insert fresh, previously unused keys.
+* writes insert fresh, previously unused keys — unless ``update_fraction``
+  directs a share of them at keys that already exist.  Updates create
+  *obsolete versions*: until a compaction consolidates them, every run on a
+  key's path keeps its own stale copy, and long range scans pay to read them
+  all.  The ``update_skew`` knob concentrates updates on a Zipf-hot subset
+  of the keys, deepening the duplication exactly where scans will find it —
+  the worst-case amplification the long-range cost model charges per run.
 """
 
 from __future__ import annotations
@@ -89,6 +95,8 @@ class TraceGenerator:
         range_scan_keys: int = 16,
         long_scan_keys: int = 512,
         seed: int = 23,
+        update_fraction: float = 0.0,
+        update_skew: float = 0.0,
     ) -> None:
         if value_size_bytes <= 0:
             raise ValueError("value_size_bytes must be positive")
@@ -96,11 +104,26 @@ class TraceGenerator:
             raise ValueError("range_scan_keys must be positive")
         if long_scan_keys < range_scan_keys:
             raise ValueError("long_scan_keys must be at least range_scan_keys")
+        if not 0.0 <= update_fraction <= 1.0:
+            raise ValueError("update_fraction must lie in [0, 1]")
+        if update_skew < 0.0:
+            raise ValueError("update_skew must be non-negative")
         self.key_space = key_space
         self.value_size_bytes = value_size_bytes
         self.range_scan_keys = range_scan_keys
         self.long_scan_keys = long_scan_keys
+        #: Fraction of the writes that *update* an existing key (duplicate
+        #: versions) instead of inserting a fresh one.
+        self.update_fraction = float(update_fraction)
+        #: Zipf exponent concentrating updates on a hot subset of the keys;
+        #: 0 spreads updates uniformly over the resident key set.
+        self.update_skew = float(update_skew)
         self._rng = np.random.default_rng(seed)
+        # Updates draw from a dedicated stream so enabling them leaves every
+        # other operation of a seeded trace bit-identical.
+        self._update_rng = np.random.default_rng(seed + 104_729)
+        self._hot_order: np.ndarray | None = None
+        self._hot_probabilities: np.ndarray | None = None
         self._next_fresh_key = key_space.fresh_start
 
     # ------------------------------------------------------------------
@@ -165,10 +188,33 @@ class TraceGenerator:
     def _puts(self, count: int) -> list[Operation]:
         ops = []
         payload = bytes(self.value_size_bytes)
-        for _ in range(count):
+        num_updates = (
+            int(round(count * self.update_fraction)) if self.update_fraction else 0
+        )
+        for key in self._update_keys(num_updates):
+            ops.append(Operation(OperationType.PUT, int(key), value=payload))
+        for _ in range(count - num_updates):
             ops.append(Operation(OperationType.PUT, self._next_fresh_key, value=payload))
             self._next_fresh_key += 1
         return ops
+
+    def _update_keys(self, count: int) -> np.ndarray:
+        """Existing keys to overwrite, drawn uniformly or Zipf-skewed."""
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        existing = self.key_space.existing
+        if self.update_skew <= 0.0:
+            return self._update_rng.choice(existing, size=count, replace=True)
+        if self._hot_order is None:
+            # Heat is assigned to a random permutation of the resident keys so
+            # the hot set is spread across the key domain (and across runs).
+            self._hot_order = self._update_rng.permutation(existing)
+            ranks = np.arange(1, existing.size + 1, dtype=float)
+            weights = ranks ** -self.update_skew
+            self._hot_probabilities = weights / weights.sum()
+        return self._update_rng.choice(
+            self._hot_order, size=count, replace=True, p=self._hot_probabilities
+        )
 
     # ------------------------------------------------------------------
     # Bulk loading

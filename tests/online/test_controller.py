@@ -226,6 +226,162 @@ class TestControllerExecution:
         assert controller.num_migrations <= 1
 
 
+class TestIncrementalMigration:
+    """The level-by-level migration mode of the controller."""
+
+    _CONFIG_KWARGS = dict(
+        window=150,
+        check_interval=32,
+        min_observations=64,
+        cooldown=256,
+        confirm_checks=2,
+        rho=0.5,
+        mode="nominal",
+        horizon_ops=50_000,
+        migration="incremental",
+        migration_step_ops=64,
+        migration_step_pages=16,
+    )
+
+    def test_incremental_migration_completes_and_swaps_the_tree(
+        self, tiny_system, key_space
+    ):
+        expected = Workload(0.32, 0.32, 0.32, 0.04)
+        config = OnlineConfig(**self._CONFIG_KWARGS)
+        controller = _controller(tiny_system, key_space, config, expected)
+        initial_tuning = controller.tuning
+        trace = TraceGenerator(key_space, seed=9)
+        controller.execute(trace.operations(Workload(0.0, 0.0, 0.0, 1.0), 6_000))
+        assert controller.num_migrations >= 1
+        event = next(e for e in controller.events if e.migrated)
+        assert event.migration_steps > 1
+        assert event.migration_read_pages > 0
+        assert event.migration_write_pages > 0
+        assert not controller.migration_in_progress
+        assert controller.tuning != initial_tuning
+
+    def test_plan_advances_with_the_stream_not_at_the_firing(
+        self, tiny_system, key_space
+    ):
+        """Right after the firing only the first step's pages are charged;
+        the rest trickle in as the stream advances."""
+        expected = Workload(0.49, 0.49, 0.01, 0.01)
+        config = OnlineConfig(**{
+            **self._CONFIG_KWARGS,
+            "cooldown": 100_000,
+            "confirm_checks": 1,
+            "rho": 0.25,
+            "horizon_ops": 100_000,
+        })
+        controller = _controller(tiny_system, key_space, config, expected)
+        trace = TraceGenerator(key_space, seed=9)
+        # Range-only drift: the only compaction traffic is the migration.
+        operations = trace.operations(Workload(0.0, 0.0, 1.0, 0.0), 600)
+        for operation in operations:
+            controller.apply(operation)
+            if controller.migration_in_progress:
+                break
+        assert controller.migration_in_progress
+        event = controller.events[-1]
+        charged = controller.disk.counters.compaction_reads
+        assert 0 < charged < event.migration_read_pages
+        # Draining the plan charges exactly the planned remainder.
+        controller.finish_migration()
+        assert not controller.migration_in_progress
+        counters = controller.disk.counters
+        assert counters.compaction_reads == event.migration_read_pages
+        assert counters.compaction_writes == event.migration_write_pages
+
+    def test_drift_checks_are_suspended_while_a_plan_runs(
+        self, tiny_system, key_space
+    ):
+        expected = Workload(0.49, 0.49, 0.01, 0.01)
+        config = OnlineConfig(**{
+            **self._CONFIG_KWARGS,
+            "cooldown": 0,
+            "confirm_checks": 1,
+            "rho": 0.25,
+            "horizon_ops": 100_000,
+            "migration_step_ops": 10_000,  # the plan effectively never advances
+        })
+        controller = _controller(tiny_system, key_space, config, expected)
+        trace = TraceGenerator(key_space, seed=9)
+        controller.execute(trace.operations(Workload(0.0, 0.0, 1.0, 0.0), 1_000))
+        assert controller.migration_in_progress
+        # Even with no cooldown, the in-flight plan blocks further firings.
+        assert controller.num_migrations == 1
+
+    def test_mixed_state_preserves_entries(self, tiny_system, key_space):
+        expected = Workload(0.32, 0.32, 0.32, 0.04)
+        config = OnlineConfig(**self._CONFIG_KWARGS)
+        controller = _controller(tiny_system, key_space, config, expected)
+        before_entries = controller.tree.num_entries
+        trace = TraceGenerator(key_space, seed=9)
+        controller.execute(trace.operations(Workload(0.0, 0.0, 0.0, 1.0), 6_000))
+        assert controller.num_migrations >= 1
+        # Writes kept landing throughout: nothing was lost by the migration.
+        assert controller.tree.num_entries >= before_entries
+
+
+class TestAdaptiveRho:
+    def test_effective_rho_widens_with_volatility(self, tiny_system):
+        tuner = AdaptiveTuner(
+            system=tiny_system, mode="robust", rho=0.5,
+            rho_adaptive=True, volatility_gain=2.0, rho_cap=4.0,
+        )
+        assert tuner.effective_rho(0.0) == 0.5
+        assert tuner.effective_rho(0.4) == pytest.approx(1.3)
+        assert tuner.effective_rho(100.0) == 4.0  # capped
+
+    def test_fixed_rho_ignores_volatility(self, tiny_system):
+        tuner = AdaptiveTuner(system=tiny_system, mode="robust", rho=0.5)
+        assert tuner.effective_rho(5.0) == 0.5
+
+    def test_decision_records_the_widened_radius(self, tiny_system):
+        tuner = AdaptiveTuner(
+            system=tiny_system, mode="robust", rho=0.25, rho_adaptive=True,
+            volatility_gain=1.0,
+        )
+        current = LSMTuning(30.0, 8.0, Policy.LEVELING)
+        decision = tuner.retune(
+            Workload(0.05, 0.05, 0.05, 0.85), current,
+            resident_pages=1_000, volatility=0.5,
+        )
+        assert decision.rho == pytest.approx(0.75)
+        assert decision.to_dict()["rho"] == pytest.approx(0.75)
+
+    def test_migration_widens_the_watched_ball(self, tiny_system, key_space):
+        """After a drift-aware migration the detector watches the widened
+        radius the replacement tuning was solved for."""
+        expected = Workload(0.32, 0.32, 0.32, 0.04)
+        config = OnlineConfig(
+            window=150, check_interval=32, min_observations=64,
+            cooldown=256, confirm_checks=2, rho=0.5, mode="robust",
+            horizon_ops=50_000, rho_adaptive=True, volatility_gain=2.0,
+        )
+        controller = _controller(tiny_system, key_space, config, expected)
+        assert controller.detector.threshold == pytest.approx(0.5)
+        trace = TraceGenerator(key_space, seed=9)
+        # A cyclic warm phase *inside* the region: the estimate swings between
+        # the two mixes, so the KL trajectory disperses without firing.
+        near = Workload(0.30, 0.34, 0.30, 0.06)
+        swung = Workload(0.50, 0.30, 0.15, 0.05)
+        for burst in range(8):
+            mix = near if burst % 2 else swung
+            controller.execute(trace.operations(mix, 150))
+        assert controller.num_migrations == 0
+        assert controller.detector.volatility() > 0.0
+        # Now the drift: the widened radius is what the re-tuner solves for
+        # and what the detector watches afterwards.
+        controller.execute(trace.operations(Workload(0.0, 0.0, 0.0, 1.0), 1_500))
+        migrated = [e for e in controller.events if e.migrated]
+        assert migrated
+        assert migrated[0].decision.rho > 0.5
+        assert controller.detector.threshold == pytest.approx(
+            migrated[0].decision.rho
+        )
+
+
 class TestOnlineConfig:
     def test_threshold_defaults_to_rho(self):
         config = OnlineConfig(rho=0.75)
@@ -238,3 +394,29 @@ class TestOnlineConfig:
     def test_rejects_bad_check_interval(self):
         with pytest.raises(ValueError):
             OnlineConfig(check_interval=0)
+
+    def test_rejects_unknown_migration_mode(self):
+        with pytest.raises(ValueError):
+            OnlineConfig(migration="lazy")
+
+    def test_rejects_bad_migration_step_knobs(self):
+        with pytest.raises(ValueError):
+            OnlineConfig(migration_step_ops=0)
+        with pytest.raises(ValueError):
+            OnlineConfig(migration_step_pages=0)
+
+    def test_rejects_rho_adaptive_outside_robust_mode(self):
+        with pytest.raises(ValueError):
+            OnlineConfig(mode="nominal", rho_adaptive=True)
+        # The default mode is robust, so adaptivity alone is fine.
+        assert OnlineConfig(rho_adaptive=True).rho_adaptive
+
+    def test_large_rho_does_not_trip_the_adaptive_cap(self, tiny_system):
+        """A radius above the default cap must not crash (the cap bounds the
+        widening, never the configured radius itself)."""
+        tuner = AdaptiveTuner(
+            system=tiny_system, mode="robust", rho=5.0,
+            rho_adaptive=True, volatility_gain=2.0, rho_cap=4.0,
+        )
+        assert tuner.effective_rho(0.0) == 5.0
+        assert tuner.effective_rho(10.0) == 5.0  # cap clamped up to rho

@@ -177,6 +177,66 @@ class TestCooldownAndConfirmation:
         assert detector.check(drifted, position=4).fired
 
 
+class TestVolatility:
+    """The KL-trajectory dispersion that widens the adaptive radius."""
+
+    def test_volatility_is_zero_before_two_checks(self):
+        detector = _detector(Workload.uniform(), rho=1.0)
+        assert detector.volatility() == 0.0
+        detector.check(Workload(0.3, 0.3, 0.2, 0.2), position=1)
+        assert detector.volatility() == 0.0
+
+    def test_stationary_stream_has_low_volatility(self):
+        detector = _detector(Workload.uniform(), rho=1.0)
+        steady = Workload(0.3, 0.3, 0.2, 0.2)
+        for position in range(1, 20):
+            detector.check(steady, position=position)
+        assert detector.volatility() == pytest.approx(0.0, abs=1e-12)
+
+    def test_cyclic_stream_has_high_volatility(self):
+        """Alternating phases sweep the trajectory between a near-zero and a
+        large divergence: the dispersion dwarfs the stationary case."""
+        detector = _detector(Workload.uniform(), rho=10.0)
+        phase_a = Workload(0.3, 0.3, 0.2, 0.2)
+        phase_b = Workload(0.02, 0.02, 0.02, 0.94)
+        for position in range(1, 21):
+            detector.check(phase_a if position % 2 else phase_b, position=position)
+        assert detector.volatility() > 0.3
+
+    def test_infinite_divergences_do_not_poison_the_trajectory(self):
+        nominal = Workload(0.5, 0.5, 0.0, 0.0)
+        detector = _detector(nominal, rho=10.0)
+        detector.check(Workload(0.6, 0.4, 0.0, 0.0), position=1)
+        detector.check(Workload(0.4, 0.4, 0.2, 0.0), position=2)  # inf escape
+        detector.check(Workload(0.55, 0.45, 0.0, 0.0), position=3)
+        assert math.isfinite(detector.volatility())
+
+    def test_trajectory_window_bounds_the_memory(self):
+        detector = _detector(Workload.uniform(), rho=10.0, trajectory_window=4)
+        drifted = Workload(0.85, 0.05, 0.05, 0.05)
+        steady = Workload(0.3, 0.3, 0.2, 0.2)
+        for position in range(1, 10):
+            detector.check(drifted, position=position)
+        # The old (large) divergences roll out of the window...
+        for position in range(10, 20):
+            detector.check(steady, position=position)
+        assert len(detector.trajectory) == 4
+        assert detector.volatility() == pytest.approx(0.0, abs=1e-12)
+
+    def test_recenter_preserves_the_trajectory_and_widens_the_radius(self):
+        detector = _detector(Workload.uniform(), rho=0.1, cooldown=0)
+        drifted = Workload(0.85, 0.05, 0.05, 0.05)
+        detector.check(Workload(0.3, 0.3, 0.2, 0.2), position=1)
+        detector.check(drifted, position=2)
+        trajectory = detector.trajectory
+        detector.recenter(drifted, position=2, rho=1.5)
+        assert detector.trajectory == trajectory
+        assert detector.threshold == 1.5
+        # Without an explicit radius the old one is preserved.
+        detector.recenter(drifted, position=3)
+        assert detector.threshold == 1.5
+
+
 class TestValidation:
     def test_rejects_negative_cooldown(self):
         with pytest.raises(ValueError):
@@ -185,3 +245,7 @@ class TestValidation:
     def test_rejects_non_positive_confirm_checks(self):
         with pytest.raises(ValueError):
             _detector(Workload.uniform(), confirm_checks=0)
+
+    def test_rejects_degenerate_trajectory_window(self):
+        with pytest.raises(ValueError):
+            _detector(Workload.uniform(), trajectory_window=1)

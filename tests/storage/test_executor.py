@@ -174,6 +174,37 @@ class TestAdaptiveExecution:
         )
         assert total_compaction >= measurement.migration_pages
 
+    def test_in_flight_incremental_plan_is_drained_at_stream_end(
+        self, executor, tunings, session_generator, w11, online_config
+    ):
+        """A migration plan still running when the stream ends is drained
+        before the measurement is returned: the events' planned page totals
+        are fully charged, ``final_tuning`` is the tuning actually reached,
+        and no tombstone hold survives on the live tree."""
+        from dataclasses import replace
+
+        sequence = session_generator.paper_sequence(w11, workloads_per_session=1)
+        # Steps so far apart the plan cannot finish within the stream.
+        online = replace(
+            online_config,
+            migration="incremental",
+            migration_step_ops=10**6,
+            migration_step_pages=16,
+        )
+        measurement = executor.run_sequence_adaptive(
+            tunings["nominal"], sequence, online=online
+        )
+        if measurement.num_migrations == 0:
+            pytest.skip("no drift fired for this sequence/seed")
+        migrated = [e for e in measurement.events if e.migrated][0]
+        assert measurement.final_tuning == migrated.decision.proposed
+        total_compaction = sum(
+            s.compaction_reads + s.compaction_writes for s in measurement.sessions
+        )
+        # The trailing drained steps land outside the session windows, so
+        # the in-session compaction total undercuts the planned pages...
+        assert total_compaction < measurement.migration_pages
+
     def test_compare_adaptive_adds_the_adaptive_entry(
         self, executor, tunings, session_generator, w11, online_config
     ):

@@ -170,6 +170,25 @@ class TestReads:
         assert tree.get(50)
         assert tree.range_query(50, 50) == 1
 
+    def test_range_query_does_not_resurrect_deleted_keys(self):
+        """A buffered tombstone shadows the bulk-loaded (deeper) live version
+        in range results, exactly as it already did for point lookups."""
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 1_000))
+        tree.delete(100)
+        tree.delete(105)
+        assert not tree.get(100)
+        assert tree.range_query(100, 109) == 8
+
+    def test_scan_versions_flags_tombstones_newest_first(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 100, 2))
+        tree.delete(10)
+        tree.put(11)
+        keys, tombstones = tree.scan_versions(10, 12)
+        assert keys.tolist() == [10, 11, 12]
+        assert tombstones.tolist() == [True, False, False]
+
 
 class TestBulkLoadAndStats:
     def test_bulk_load_places_all_entries(self):

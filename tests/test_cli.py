@@ -144,10 +144,16 @@ class TestOnlineCommand:
         assert args.phases == ["read", "write"]
         assert args.mode == "nominal"
         assert args.threshold is None
+        assert args.migration == "full"
+        assert not args.rho_adaptive
 
     def test_online_rejects_unknown_phase(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["online", "--phases", "compaction"])
+
+    def test_online_rejects_unknown_migration_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["online", "--migration", "eventually"])
 
     def test_online_runs_a_tiny_drifting_sequence(self, capsys):
         out = _run_main(capsys, _ONLINE_SMOKE_ARGS)
@@ -167,6 +173,89 @@ class TestOnlineCommand:
         for session in payload["sessions"]:
             assert "adaptive" in session["system_ios"]
 
+    def test_online_runs_with_incremental_migration_and_adaptive_rho(self, capsys):
+        payload = json.loads(_run_main(
+            capsys,
+            _ONLINE_SMOKE_ARGS + [
+                "--migration", "incremental",
+                "--migration-step-ops", "64",
+                "--migration-step-pages", "16",
+                "--mode", "robust",
+                "--rho-adaptive",
+                "--json",
+            ],
+        ))
+        for event in payload["events"]:
+            if event["migrated"]:
+                assert event["migration_steps"] >= 1
+            assert "rho" in event["decision"]
+
+    def test_online_rejects_rho_adaptive_without_robust_mode(self):
+        """--rho-adaptive would silently widen a ball no nominal tuning
+        covers; the CLI refuses the combination outright."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["online", "--rho-adaptive", "--mode", "nominal"])
+        assert "--rho-adaptive requires --mode robust" in str(excinfo.value)
+
+    def test_online_accepts_large_retune_rho_without_adaptivity(self):
+        """A radius above the adaptive cap must not crash a non-adaptive
+        run (the cap only bounds the *widening*)."""
+        from repro.lsm import simulator_system
+        from repro.online import AdaptiveTuner, OnlineConfig
+
+        config = OnlineConfig(rho=5.0, mode="robust")
+        tuner = AdaptiveTuner(
+            system=simulator_system(1_000), mode=config.mode, rho=config.rho
+        )
+        assert tuner.effective_rho(10.0) == 5.0  # not adaptive: unwidened
+
+    def test_online_rejects_negative_volatility_gain(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["online", "--volatility-gain", "-1"])
+        assert "must be non-negative" in capsys.readouterr().err
+
+
+class TestOnlineKnobValidation:
+    """Bad knob values die at the parser with a clear usage error, not a
+    downstream traceback."""
+
+    @pytest.mark.parametrize(
+        "flag,value",
+        [
+            ("--window", "0"),
+            ("--window", "-5"),
+            ("--confirm-checks", "0"),
+            ("--cooldown", "-1"),
+            ("--check-interval", "0"),
+            ("--migration-step-ops", "0"),
+            ("--migration-step-pages", "-3"),
+            ("--queries-per-workload", "0"),
+            ("--sessions-per-phase", "0"),
+            ("--horizon", "0"),
+            ("--min-observations", "-1"),
+        ],
+    )
+    def test_rejects_out_of_range_values(self, capsys, flag, value):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["online", flag, value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert flag in err
+        assert "integer" in err
+
+    def test_rejects_non_integer_values(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["online", "--window", "many"])
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_boundary_values_parse(self):
+        args = build_parser().parse_args(
+            ["online", "--confirm-checks", "1", "--cooldown", "0", "--window", "1"]
+        )
+        assert args.confirm_checks == 1
+        assert args.cooldown == 0
+        assert args.window == 1
+
 
 class TestSeedFlag:
     def test_compare_same_seed_is_reproducible(self, capsys):
@@ -181,6 +270,21 @@ class TestSeedFlag:
     def test_online_same_seed_is_reproducible(self, capsys):
         first = _run_main(capsys, _ONLINE_SMOKE_ARGS + ["--json"])
         second = _run_main(capsys, _ONLINE_SMOKE_ARGS + ["--json"])
+        assert first == second
+
+    @pytest.mark.parametrize("migration", ["full", "incremental"])
+    def test_online_seed_is_byte_identical_under_both_migration_modes(
+        self, capsys, migration
+    ):
+        """`online --seed N --json` twice -> byte-identical output whichever
+        migration executor runs (the incremental plan included)."""
+        argv = _ONLINE_SMOKE_ARGS + [
+            "--migration", migration,
+            "--migration-step-ops", "64",
+            "--json",
+        ]
+        first = _run_main(capsys, argv)
+        second = _run_main(capsys, argv)
         assert first == second
 
     def test_tune_fluid_same_seed_is_byte_identical(self, capsys):

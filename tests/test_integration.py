@@ -155,6 +155,101 @@ class TestModelSimulatorAgreement:
         assert tiered < interior < leveled
 
 
+class TestLongRangeAgreementUnderChurn:
+    """Long-range simulator-vs-model agreement under obsolete versions.
+
+    The long-range cost model charges *every resident run* of a level with
+    the scan selectivity's share of the level's capacity — a worst case
+    driven by obsolete versions: after heavy updates, each run on a key's
+    path holds its own stale copy and a long scan pays to read them all.
+    Fresh-key traces cannot exhibit that (every key exists exactly once, so
+    all policies measure alike and the model's per-policy spread looks like
+    pure pessimism); the update-heavy trace generator closes the gap.
+
+    Pinned here, per compaction policy:
+
+    * churn strictly amplifies the measured long-scan cost,
+    * the churned measurements *rank* the policies exactly as the model's
+      long-range term does (tiering worst, leveling best, the hybrids in
+      between) — the ordering a tuner needs,
+    * measured/predicted stays within a constant-factor band (the model is
+      a steady-state worst case; the simulator is an average case).
+    """
+
+    POLICY_TUNINGS = [
+        LSMTuning(6.0, 6.0, Policy.TIERING),
+        LSMTuning(6.0, 6.0, Policy.LEVELING),
+        LSMTuning(6.0, 6.0, Policy.LAZY_LEVELING),
+        LSMTuning(6.0, 6.0, Policy.FLUID, k_bound=3, z_bound=1),
+    ]
+
+    #: (measured / predicted) band for churned long scans, per policy family:
+    #: worst-case run counts are rarely all resident at once, so the model
+    #: upper-bounds the simulator — but within a useful constant factor.
+    AGREEMENT_BAND = (0.10, 1.1)
+
+    @pytest.fixture(scope="class")
+    def harness(self):
+        system = simulator_system(num_entries=6_000)
+        long_keys = max(
+            16, int(system.long_range_selectivity * system.num_entries)
+        )
+        churn = Workload(0.0, 0.0, 0.0, 1.0)
+        scan = Workload(0.0, 0.0, 1.0, 0.0, long_range_fraction=1.0)
+        sequence = SessionSequence(
+            expected=scan,
+            sessions=(
+                Session(SessionType.WRITE, "churn", (churn,)),
+                Session(SessionType.RANGE, "scan", (scan,)),
+            ),
+        )
+
+        def measure(tuning: LSMTuning, update_fraction: float) -> float:
+            executor = WorkloadExecutor(
+                system,
+                ExecutorConfig(
+                    queries_per_workload=600,
+                    seed=17,
+                    update_fraction=update_fraction,
+                    update_skew=0.8,
+                    long_scan_keys=long_keys,
+                ),
+            )
+            return executor.run_sequence(tuning, sequence).sessions[1].read_ios_per_query
+
+        return LSMCostModel(system), measure
+
+    def test_churn_amplifies_and_model_band_holds(self, harness):
+        model, measure = harness
+        lo, hi = self.AGREEMENT_BAND
+        for tuning in self.POLICY_TUNINGS:
+            fresh = measure(tuning, update_fraction=0.0)
+            churned = measure(tuning, update_fraction=0.9)
+            assert churned > fresh, (
+                f"{tuning.describe()}: update churn must amplify long scans "
+                f"(fresh {fresh:.2f}, churned {churned:.2f})"
+            )
+            predicted = model.long_range_cost(tuning)
+            ratio = churned / predicted
+            assert lo <= ratio <= hi, (
+                f"{tuning.describe()}: churned long scans measured "
+                f"{churned:.2f} vs predicted {predicted:.2f} "
+                f"(ratio {ratio:.2f} outside [{lo}, {hi}])"
+            )
+
+    def test_churned_measurements_rank_policies_like_the_model(self, harness):
+        model, measure = harness
+        predicted = [model.long_range_cost(t) for t in self.POLICY_TUNINGS]
+        churned = [measure(t, update_fraction=0.9) for t in self.POLICY_TUNINGS]
+        model_order = sorted(range(len(predicted)), key=predicted.__getitem__)
+        measured_order = sorted(range(len(churned)), key=churned.__getitem__)
+        assert measured_order == model_order, (
+            "obsolete-version amplification must rank the policies exactly "
+            f"as the long-range model does (model {model_order}, "
+            f"measured {measured_order})"
+        )
+
+
 class TestSystemPipeline:
     """Model predictions versus simulator measurements."""
 

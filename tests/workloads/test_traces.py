@@ -101,3 +101,68 @@ class TestTraceGeneration:
             TraceGenerator(key_space, value_size_bytes=0)
         with pytest.raises(ValueError):
             TraceGenerator(key_space, range_scan_keys=0)
+
+
+class TestUpdateHeavyTraces:
+    """The duplicate-key skew knob: writes that overwrite resident keys."""
+
+    def test_update_fraction_splits_puts(self, key_space):
+        generator = TraceGenerator(key_space, update_fraction=0.4, seed=5)
+        ops = generator.operations(Workload(0.0, 0.0, 0.0, 1.0), 500)
+        existing = set(key_space.existing.tolist())
+        updates = [op for op in ops if op.key in existing]
+        inserts = [op for op in ops if op.key >= key_space.fresh_start]
+        assert len(updates) + len(inserts) == len(ops)
+        assert len(updates) == 200  # 40% of 500, deterministic rounding
+
+    def test_updates_hit_duplicate_keys(self, key_space):
+        """With enough updates over a finite key set, keys repeat — the
+        obsolete-version amplification the long-range model charges for."""
+        generator = TraceGenerator(key_space, update_fraction=1.0, seed=5)
+        ops = generator.operations(Workload(0.0, 0.0, 0.0, 1.0), 3 * key_space.num_entries)
+        keys = [op.key for op in ops]
+        assert len(set(keys)) < len(keys)
+
+    def test_update_skew_concentrates_on_hot_keys(self, key_space):
+        uniform = TraceGenerator(key_space, update_fraction=1.0, update_skew=0.0, seed=5)
+        skewed = TraceGenerator(key_space, update_fraction=1.0, update_skew=1.2, seed=5)
+        count = 4_000
+
+        def top_share(generator):
+            ops = generator.operations(Workload(0.0, 0.0, 0.0, 1.0), count)
+            frequencies = {}
+            for op in ops:
+                frequencies[op.key] = frequencies.get(op.key, 0) + 1
+            top = sorted(frequencies.values(), reverse=True)[:10]
+            return sum(top) / count
+
+        assert top_share(skewed) > 2 * top_share(uniform)
+
+    def test_zero_update_fraction_leaves_the_trace_bit_identical(self, key_space):
+        """Enabling the knob machinery must not perturb the main RNG stream:
+        the default trace is unchanged from the pre-knob generator."""
+        plain = TraceGenerator(key_space, seed=5)
+        explicit = TraceGenerator(key_space, update_fraction=0.0, update_skew=2.0, seed=5)
+        workload = Workload(0.2, 0.3, 0.2, 0.3)
+        assert plain.operations(workload, 400) == explicit.operations(workload, 400)
+
+    def test_update_knob_preserves_the_non_write_stream(self, key_space):
+        """Updates draw from a dedicated RNG stream, so reads and ranges of a
+        seeded trace are identical with and without the knob."""
+        plain = TraceGenerator(key_space, seed=5)
+        updating = TraceGenerator(key_space, update_fraction=0.5, seed=5)
+        workload = Workload(0.2, 0.3, 0.2, 0.3)
+        plain_ops = plain.operations(workload, 400)
+        updating_ops = updating.operations(workload, 400)
+        for kind in (OperationType.EMPTY_GET, OperationType.GET, OperationType.RANGE):
+            assert [op for op in plain_ops if op.kind is kind] == [
+                op for op in updating_ops if op.kind is kind
+            ]
+
+    def test_rejects_bad_update_knobs(self, key_space):
+        with pytest.raises(ValueError):
+            TraceGenerator(key_space, update_fraction=1.5)
+        with pytest.raises(ValueError):
+            TraceGenerator(key_space, update_fraction=-0.1)
+        with pytest.raises(ValueError):
+            TraceGenerator(key_space, update_skew=-1.0)

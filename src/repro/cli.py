@@ -16,6 +16,12 @@ Mixed short/long range workloads (30% of range lookups are long scans)::
 
     repro-endure tune --workload 0.1 0.2 0.3 0.4 --long-range-fraction 0.3
 
+Full Dostoevsky generality — search per-level ``K_i`` bound vectors, or pin
+an explicit front-loaded ladder (shallowest level first)::
+
+    repro-endure tune --workload 0.1 0.2 0.1 0.6 --policy fluid --k-vector-search
+    repro-endure tune --workload 0.1 0.2 0.1 0.6 --policy fluid --k-bounds 4,2,1
+
 Compare nominal and robust tunings on the simulator::
 
     repro-endure compare --expected-index 11 --rho 0.25 --json
@@ -38,7 +44,7 @@ from .analysis.online_eval import AdaptiveExperiment, format_adaptive_comparison
 from .analysis.system_eval import SystemExperiment, format_comparison
 from .core.nominal import NominalTuner
 from .core.robust import RobustTuner
-from .lsm.policy import ALL_POLICIES, CLASSIC_POLICIES, Policy
+from .lsm.policy import ALL_POLICIES, CLASSIC_POLICIES, Policy, PolicySpec
 from .lsm.system import SystemConfig, simulator_system
 from .online.controller import MIGRATION_MODES, OnlineConfig
 from .online.retuner import RETUNING_MODES
@@ -75,6 +81,41 @@ def _validated_number(cast, accepts, description):
 _positive_int = _validated_number(int, lambda v: v > 0, "a positive integer")
 _non_negative_int = _validated_number(int, lambda v: v >= 0, "a non-negative integer")
 _non_negative_float = _validated_number(float, lambda v: v >= 0, "non-negative")
+_run_bound = _validated_number(float, lambda v: v >= 1, "at least 1")
+
+
+def _k_bounds_arg(text: str) -> tuple[float, ...]:
+    """Argparse type of ``--k-bounds``: a comma-separated per-level vector.
+
+    Every malformation dies at the parser with a usage error (matching the
+    validated-knob convention of the online flags): an empty value, an empty
+    entry (``"4,,1"``), a non-numeric entry, or a bound below the deployable
+    minimum of 1.
+    """
+    if not text.strip():
+        raise argparse.ArgumentTypeError(
+            "expected a comma-separated list of per-level run bounds "
+            "(e.g. 4,2,1), got an empty value"
+        )
+    bounds: list[float] = []
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            raise argparse.ArgumentTypeError(
+                f"empty entry in k-bounds list {text!r}"
+            )
+        try:
+            value = float(entry)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected a number, got {entry!r} in k-bounds list {text!r}"
+            )
+        if value < 1.0:
+            raise argparse.ArgumentTypeError(
+                f"per-level run bounds must be at least 1, got {value:g}"
+            )
+        bounds.append(value)
+    return tuple(bounds)
 
 
 def _workload_from_args(values: Sequence[float]) -> Workload:
@@ -99,19 +140,61 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         system = system.scaled(args.num_entries)
     if args.long_range_selectivity is not None:
         system = replace(system, long_range_selectivity=args.long_range_selectivity)
-    policies = _policies_from_arg(args.policy)
+    policies: tuple[Policy | PolicySpec, ...] = _policies_from_arg(args.policy)
+    if args.k_bounds is not None:
+        if args.policy != Policy.FLUID.value:
+            args.subparser.error(
+                "--k-bounds requires --policy fluid (per-level run bounds "
+                "are only meaningful for the fluid policy)"
+            )
+        if args.k_vector_search:
+            args.subparser.error(
+                "--k-bounds pins an explicit vector; --k-vector-search asks "
+                "the tuner to move it — pass one or the other"
+            )
+        # Pin the search to the explicit per-level vector: the tuners still
+        # optimise (T, h) but deploy exactly these bounds.
+        policies = (
+            PolicySpec(Policy.FLUID, k_bounds=args.k_bounds, z_bound=args.z_bound),
+        )
+    elif args.z_bound is not None:
+        args.subparser.error("--z-bound is only meaningful alongside --k-bounds")
     seed = args.seed if args.seed is not None else 0
-    nominal = NominalTuner(system=system, policies=policies, seed=seed).tune(workload)
+    tuner_kwargs = dict(
+        system=system,
+        policies=policies,
+        seed=seed,
+        k_vector_search=args.k_vector_search,
+    )
+    def check_k_bounds_length(tuning, label: str) -> None:
+        """Reject a pinned vector whose length does not match the solve."""
+        if args.k_bounds is None:
+            return
+        solved_levels = tuning.num_levels(system)
+        if len(args.k_bounds) != max(solved_levels - 1, 0):
+            args.subparser.error(
+                f"--k-bounds holds {len(args.k_bounds)} per-level bounds but "
+                f"the solved {label} tuning has {solved_levels} levels "
+                f"({max(solved_levels - 1, 0)} upper levels; the largest "
+                "level is bounded by --z-bound)"
+            )
+
+    nominal = NominalTuner(**tuner_kwargs).tune(workload)
+    check_k_bounds_length(nominal.tuning, "nominal")
     output = {
         "workload": workload.as_dict(),
-        "policies": [p.value for p in policies],
+        "policies": list(
+            dict.fromkeys(PolicySpec.of(p).policy.value for p in policies)
+        ),
         "num_entries": system.num_entries,
         "nominal": nominal.tuning.to_dict(),
     }
     if args.rho > 0:
-        robust = RobustTuner(
-            rho=args.rho, system=system, policies=policies, seed=seed
-        ).tune(workload)
+        robust = RobustTuner(rho=args.rho, **tuner_kwargs).tune(workload)
+        # The robust solve may land on a different (T, h) — and hence a
+        # different level count — than the nominal one; a pinned vector must
+        # match both deployments it is reported for.
+        check_k_bounds_length(robust.tuning, "robust")
         output["robust"] = robust.tuning.to_dict()
         output["rho"] = args.rho
     print(json.dumps(output, indent=2))
@@ -182,6 +265,7 @@ def _cmd_online(args: argparse.Namespace) -> int:
         migration_step_pages=args.migration_step_pages,
         rho_adaptive=args.rho_adaptive,
         volatility_gain=args.volatility_gain,
+        k_vector_search=args.k_vector_search,
     )
     experiment = AdaptiveExperiment(
         system=simulator_system(num_entries=args.num_entries),
@@ -253,13 +337,36 @@ def build_parser() -> argparse.ArgumentParser:
         "default: the system's built-in 0.001)",
     )
     tune.add_argument(
+        "--k-bounds",
+        type=_k_bounds_arg,
+        default=None,
+        metavar="K1,K2,...",
+        help="pin a per-level fluid run-bound vector (shallowest level "
+        "first, e.g. 4,2,1); requires --policy fluid, and the length must "
+        "match the solved tuning's upper-level count",
+    )
+    tune.add_argument(
+        "--z-bound",
+        type=_run_bound,
+        default=None,
+        help="run bound of the largest level for a pinned --k-bounds vector "
+        "(default 1: a single leveled run)",
+    )
+    tune.add_argument(
+        "--k-vector-search",
+        action="store_true",
+        help="let the fluid sweep search per-level K_i bound vectors "
+        "(structured ladder/perturbation families, coordinate descent and "
+        "a continuous-bound polish) instead of only uniform (K, Z) pairs",
+    )
+    tune.add_argument(
         "--seed",
         type=int,
         default=None,
         help="seed of the tuners' polish starting points "
         "(same seed -> byte-identical output)",
     )
-    tune.set_defaults(func=_cmd_tune)
+    tune.set_defaults(func=_cmd_tune, subparser=tune)
 
     workloads = subparsers.add_parser("workloads", help="print Table 2 workloads")
     workloads.set_defaults(func=_cmd_workloads)
@@ -425,6 +532,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=_POLICY_CHOICES,
         default="classic",
         help="compaction policies the tuners (static and online) may deploy",
+    )
+    online.add_argument(
+        "--k-vector-search",
+        action="store_true",
+        help="let fluid re-tunings search per-level K_i bound vectors "
+        "(vector proposals migrate like any other tuning)",
     )
     online.add_argument(
         "--parallel",

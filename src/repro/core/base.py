@@ -29,9 +29,15 @@ import numpy as np
 from scipy import optimize
 
 from ..lsm.cost_model import LSMCostModel
-from ..lsm.policy import CLASSIC_POLICIES, Policy, PolicySpec, expand_policy_specs
+from ..lsm.policy import (
+    CLASSIC_POLICIES,
+    DEFAULT_VECTOR_LEVELS,
+    Policy,
+    PolicySpec,
+    expand_policy_specs,
+)
 from ..lsm.system import SystemConfig
-from ..lsm.tuning import LSMTuning
+from ..lsm.tuning import LSMTuning, round_half_up
 from ..workloads.workload import Workload
 from .results import TuningResult
 
@@ -44,6 +50,17 @@ _BITS_GRID_POINTS = 24
 #: Candidates whose grid objective is within this factor of the per-policy
 #: best are Brent-refined in the vectorised sweep; everything else is pruned.
 _REFINE_MARGIN = 1.05
+
+#: Per-level candidate bounds tried by the coordinate-descent refinement of a
+#: fluid bound vector (clamped per ``T``); a geometric ladder keeps each
+#: coordinate pass cheap while spanning the leveling → tiering spectrum.
+_DESCENT_BOUNDS: tuple[float, ...] = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64)
+
+#: Hard cap on coordinate-descent passes over the bound vector.  A pass with
+#: no improving move ends the descent early; in practice the descent
+#: converges in one or two passes, so the cap only guards pathological
+#: objectives.
+_DESCENT_MAX_PASSES = 4
 
 
 def default_ratio_candidates(max_size_ratio: float) -> np.ndarray:
@@ -96,6 +113,18 @@ class BaseTuner(abc.ABC):
         pass per gradient) where available, instead of SLSQP's own scalar
         finite differences.  Tuners that implement no batched gradient
         (see :meth:`_polish_jacobian`) fall back to the scalar path.
+    k_vector_search:
+        Whether the fluid sweep searches per-level ``K_i`` bound vectors:
+        the candidate enumeration adds the structured vector families of
+        :func:`~repro.lsm.policy.fluid_vector_specs` (front-loaded ladders,
+        single-level perturbations), a coordinate-descent pass refines the
+        winning fluid vector level by level, and the SLSQP polish relaxes
+        every ``K_i`` (and ``Z``) to continuous values, rounding the result
+        with a feasibility re-check.  Off by default: the scalar ``(K, Z)``
+        sweep and its results are byte-identical to earlier releases.
+    k_vector_levels:
+        Upper levels covered explicitly by generated/refined bound vectors
+        (deeper levels reuse the last element).
     seed:
         Seed of the random starting points used by the polish step.
     """
@@ -111,18 +140,27 @@ class BaseTuner(abc.ABC):
         batched_polish: bool = True,
         fluid_k_grid: Sequence[float] | None = None,
         fluid_z_grid: Sequence[float] | None = None,
+        k_vector_search: bool = False,
+        k_vector_levels: int = DEFAULT_VECTOR_LEVELS,
         seed: int = 0,
     ) -> None:
         self.system = system if system is not None else SystemConfig()
         self.cost_model = LSMCostModel(self.system)
+        if k_vector_levels < 1:
+            raise ValueError("k_vector_levels must be at least 1")
+        self.k_vector_search = bool(k_vector_search)
+        self.k_vector_levels = int(k_vector_levels)
         # The concrete candidates the sweeps iterate: one spec per classical
-        # policy, a (K, Z) grid of specs for Policy.FLUID.  An empty policy
+        # policy, a (K, Z) grid of specs for Policy.FLUID (plus the
+        # structured K_i vector families when enabled).  An empty policy
         # list is rejected by the expansion itself.
         self.policy_specs = expand_policy_specs(
             policies,
             max_size_ratio=self.system.max_size_ratio,
             k_grid=fluid_k_grid,
             z_grid=fluid_z_grid,
+            include_k_vectors=self.k_vector_search,
+            vector_levels=self.k_vector_levels,
         )
         # Enum-level view kept for introspection and backwards compatibility.
         self.policies = tuple(dict.fromkeys(spec.policy for spec in self.policy_specs))
@@ -237,6 +275,7 @@ class BaseTuner(abc.ABC):
             policy=spec.policy,
             k_bound=spec.k_bound,
             z_bound=spec.z_bound,
+            k_bounds=spec.k_bounds,
         )
 
     def _minimize_scalar(self, objective, bounds: tuple[float, float]):
@@ -413,14 +452,222 @@ class BaseTuner(abc.ABC):
         if best_ratio is None or best_inner is None or best_policy is None:
             raise RuntimeError("the optimiser failed to produce any finite solution")
 
-        if self.polish:
-            best_ratio, best_inner, best_value = self._polish(
+        solver_info: dict = {"per_policy_objective": per_policy}
+        vector_search = self.k_vector_search and best_policy.policy is Policy.FLUID
+        if vector_search:
+            best_policy, best_inner, best_value = self._descend_k_vector(
                 best_ratio, best_inner, best_policy, workload, best_value
             )
 
-        solver_info = {"per_policy_objective": per_policy}
+        if self.polish:
+            # The fixed-spec polish runs either way (in vector mode it is the
+            # same machinery the uniform path uses, batched gradient
+            # included, so the vector path can never fall behind it); the
+            # vector polish then relaxes the bounds from the polished point.
+            best_ratio, best_inner, best_value = self._polish(
+                best_ratio, best_inner, best_policy, workload, best_value
+            )
+            if vector_search:
+                best_ratio, best_inner, best_policy, best_value = (
+                    self._polish_with_vector(
+                        best_ratio, best_inner, best_policy, workload, best_value
+                    )
+                )
+
+        if vector_search:
+            solver_info["k_vector_search"] = best_policy.name
         return self._result_from_design(
             best_ratio, best_inner, best_policy, workload, best_value, solver_info
+        )
+
+    # ------------------------------------------------------------------
+    # Per-level K_i refinement (vector search only)
+    # ------------------------------------------------------------------
+    def _materialised_vector(
+        self, spec: PolicySpec, size_ratio: float
+    ) -> tuple[list[float], float]:
+        """The explicit ``(K_i…, Z)`` of a fluid spec at one size ratio.
+
+        Scalar and tracking specs materialise to the uniform vector they
+        denote (length :attr:`k_vector_levels`); explicit vectors are padded
+        to that length with their last element, matching the deep-level
+        extension rule.
+        """
+        cap = max(1.0, float(size_ratio) - 1.0)
+        if spec.k_bounds is not None:
+            base = list(spec.k_bounds)
+        elif spec.k_bound is not None:
+            base = [float(spec.k_bound)]
+        else:
+            base = [cap]
+        while len(base) < self.k_vector_levels:
+            base.append(base[-1])
+        vector = [float(np.clip(bound, 1.0, cap)) for bound in base]
+        z = 1.0 if spec.z_bound is None else float(np.clip(spec.z_bound, 1.0, cap))
+        return vector, z
+
+    def _descend_k_vector(
+        self,
+        size_ratio: float,
+        inner: np.ndarray,
+        spec: PolicySpec,
+        workload: Workload,
+        current_value: float,
+    ) -> tuple[PolicySpec, np.ndarray, float]:
+        """Coordinate-descent refinement of the fluid bound vector.
+
+        At the sweep winner's ``(T, h)``, each level's bound (and ``Z``) is
+        moved in turn over the geometric candidate ladder, keeping any
+        improvement; passes repeat until one completes with no move.  The
+        enumeration families only seed structured shapes — this pass is what
+        reaches arbitrary vectors without an exponential sweep.
+        """
+        bits = float(inner[0])
+        cap = max(1.0, float(size_ratio) - 1.0)
+        candidates = sorted(
+            {float(min(bound, cap)) for bound in _DESCENT_BOUNDS} | {cap}
+        )
+        vector, z = self._materialised_vector(spec, size_ratio)
+
+        def value_of(trial_vector: list[float], trial_z: float) -> float:
+            trial = PolicySpec(
+                Policy.FLUID, k_bounds=tuple(trial_vector), z_bound=trial_z
+            )
+            return self._value_at(size_ratio, bits, trial, workload)
+
+        # The materialised vector reproduces the winning spec at this (T, h),
+        # so its value matches ``current_value`` up to clamping noise.
+        best_value = value_of(vector, z)
+        for _ in range(_DESCENT_MAX_PASSES):
+            improved = False
+            for position in range(len(vector) + 1):
+                is_z = position == len(vector)
+                current = z if is_z else vector[position]
+                for candidate in candidates:
+                    if candidate == current:
+                        continue
+                    if is_z:
+                        trial_value = value_of(vector, candidate)
+                    else:
+                        trial = list(vector)
+                        trial[position] = candidate
+                        trial_value = value_of(trial, z)
+                    if np.isfinite(trial_value) and trial_value < best_value - 1e-15:
+                        best_value = trial_value
+                        if is_z:
+                            z = candidate
+                        else:
+                            vector[position] = candidate
+                        improved = True
+            if not improved:
+                break
+
+        if not (np.isfinite(best_value) and best_value < current_value - 1e-15):
+            if spec.k_bounds is None:
+                # No strict win: keep the sweep winner's scalar/tracking
+                # representation so uniform optima stay uniform.
+                return spec, np.asarray(inner, dtype=float), current_value
+            # A winning vector spec is normalised to its clamp at the
+            # current ratio (a ladder peaking above T - 1 behaves as the
+            # clamped vector; report the bounds that are actually in force).
+        refined = PolicySpec(Policy.FLUID, k_bounds=tuple(vector), z_bound=z)
+        return (
+            refined,
+            self._inner_from_design(size_ratio, bits, refined, workload),
+            best_value,
+        )
+
+    def _polish_with_vector(
+        self,
+        size_ratio: float,
+        inner: np.ndarray,
+        spec: PolicySpec,
+        workload: Workload,
+        current_value: float,
+    ) -> tuple[float, np.ndarray, PolicySpec, float]:
+        """Continuous SLSQP polish over ``(T, inner, K_1…K_m, Z)``.
+
+        The per-level run bounds join the design vector as continuous
+        variables (closing the grid-selection gap of the scalar polish);
+        after the solve the bounds are rounded to deployable integers with a
+        feasibility re-check — clamped into ``[1, T - 1]`` at the polished
+        ratio and re-evaluated — and the rounded design is kept when it is
+        at least as good.  The batched polish gradient only covers the fixed
+        3-variable design, so this path always uses SLSQP's own finite
+        differences.
+        """
+        vector, z = self._materialised_vector(spec, size_ratio)
+        n_inner = len(inner)
+
+        def spec_of(design: np.ndarray) -> PolicySpec:
+            bounds = np.maximum(design[1 + n_inner :], 1.0)
+            return PolicySpec(
+                Policy.FLUID,
+                k_bounds=tuple(float(b) for b in bounds[:-1]),
+                z_bound=float(bounds[-1]),
+            )
+
+        def full_objective(design: np.ndarray) -> float:
+            return self._objective(
+                design[0], design[1 : 1 + n_inner], spec_of(design), workload
+            )
+
+        bound_cap = max(1.0, self.system.max_size_ratio - 1.0)
+        bounds = (
+            [self.size_ratio_bounds]
+            + list(self._inner_bounds())
+            + [(1.0, bound_cap)] * (len(vector) + 1)
+        )
+        start = np.concatenate([[size_ratio], inner, vector, [z]])
+        starts = [start]
+        for _ in range(self.starts_per_policy - 1):
+            jitter = self._rng.uniform(0.9, 1.1, size=start.size)
+            starts.append(
+                np.clip(
+                    start * jitter,
+                    [b[0] for b in bounds],
+                    [b[1] for b in bounds],
+                )
+            )
+
+        best_design = start
+        best_value = current_value
+        improved = False
+        for candidate in starts:
+            result = self._slsqp(full_objective, candidate, bounds, jac=None)
+            value = float(result.fun)
+            if np.isfinite(value) and value < best_value:
+                best_design = np.asarray(result.x, dtype=float)
+                best_value = value
+                improved = True
+        if not improved:
+            # The sweep/descent winner stands; keep its representation.
+            return size_ratio, np.asarray(inner, dtype=float), spec, current_value
+
+        # Feasibility re-check: deployable bounds are integers in
+        # [1, T - 1]; round the continuous solution, clamp it at the
+        # polished ratio, and keep it only if the objective agrees.
+        ratio = float(best_design[0])
+        cap = max(1.0, float(round_half_up(ratio)) - 1.0)
+        rounded = np.concatenate(
+            [
+                best_design[: 1 + n_inner],
+                [
+                    float(np.clip(round_half_up(b), 1.0, cap))
+                    for b in best_design[1 + n_inner :]
+                ],
+            ]
+        )
+        rounded_value = full_objective(rounded)
+        if np.isfinite(rounded_value) and rounded_value <= best_value:
+            best_design, best_value = rounded, rounded_value
+
+        polished_spec = spec_of(best_design)
+        return (
+            float(best_design[0]),
+            np.asarray(best_design[1 : 1 + n_inner], dtype=float),
+            polished_spec,
+            best_value,
         )
 
     def _polish(

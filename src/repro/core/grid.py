@@ -46,7 +46,13 @@ class GridTuner:
         Compaction policies to consider (the paper's classical pair by
         default; pass :data:`~repro.lsm.policy.ALL_POLICIES` to include the
         hybrids).  ``Policy.FLUID`` expands into its default ``(K, Z)``
-        candidate grid, exactly like the continuous tuners.
+        candidate grid, exactly like the continuous tuners; explicit
+        :class:`~repro.lsm.policy.PolicySpec` entries — including per-level
+        ``k_bounds`` vector specs — pass through untouched.
+    k_vector_search:
+        Whether the fluid expansion additionally sweeps the structured
+        per-level ``K_i`` vector families (front-loaded ladders,
+        single-level perturbations), mirroring the continuous tuners.
     """
 
     def __init__(
@@ -56,6 +62,7 @@ class GridTuner:
         bits_grid_points: int = 33,
         rho: float = 0.0,
         policies: Sequence[Policy | str | PolicySpec] = CLASSIC_POLICIES,
+        k_vector_search: bool = False,
     ) -> None:
         if rho < 0:
             raise ValueError("rho must be non-negative")
@@ -66,7 +73,9 @@ class GridTuner:
         self.rho = rho
         # An empty policy list is rejected by the expansion itself.
         self.policy_specs = expand_policy_specs(
-            policies, max_size_ratio=self.system.max_size_ratio
+            policies,
+            max_size_ratio=self.system.max_size_ratio,
+            include_k_vectors=k_vector_search,
         )
         self.policies = tuple(dict.fromkeys(spec.policy for spec in self.policy_specs))
         if size_ratios is None:
@@ -117,6 +126,7 @@ class GridTuner:
                     policy=spec.policy,
                     k_bound=spec.k_bound,
                     z_bound=spec.z_bound,
+                    k_bounds=spec.k_bounds,
                 )
         if best_tuning is None or not np.isfinite(best_value):
             raise RuntimeError("grid search evaluated no configurations")

@@ -32,8 +32,14 @@ identical to the pre-split model.
 All per-policy structure enters through exactly two quantities supplied by
 the :class:`~repro.lsm.policy.CompactionPolicy` strategy objects — the
 expected number of runs per level and the per-level merge amortisation
-factor — so adding a policy never touches the equations here.  The same
-definitions power two evaluation paths:
+factor — so adding a policy never touches the equations here.  Both
+quantities are evaluated along an explicit level axis and *summed per
+level* (never via a closed-form scalar ``K``), which is what lets fluid
+tunings carry a per-level run-bound vector ``K_i``: the strategy answers
+each level from its vector, and every cost term — the false-positive sum of
+``Z0``/``Z1``, the per-run seeks and worst-case scan pages of ``Q``, the
+merge amortisation of ``W`` — picks the per-level bound up unchanged.  The
+same definitions power two evaluation paths:
 
 * the scalar methods (:meth:`LSMCostModel.cost_vector` and friends), and
 * :meth:`LSMCostModel.cost_matrix`, which evaluates a whole ``(T, h)``

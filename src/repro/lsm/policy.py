@@ -24,7 +24,14 @@ reproduction additionally supports the hybrid designs of Dostoevsky
   ``K = Z = 1`` recovers leveling exactly, ``K = Z = T - 1`` recovers
   tiering, and ``K = T - 1, Z = 1`` recovers lazy leveling, so the fluid
   family is a superset of every other policy here; the tuners sweep a
-  ``(K, Z)`` grid alongside ``(T, h)``.
+  ``(K, Z)`` grid alongside ``(T, h)``.  In full Dostoevsky generality the
+  single upper-level bound ``K`` becomes a per-level vector ``K_i``
+  (``k_bounds``): one independent run bound per upper level, shallowest
+  first, with levels deeper than the vector reusing its last element.  The
+  uniform vector reproduces the scalar ``K`` exactly; non-uniform vectors
+  (e.g. front-loaded "lazy ladders" — tiered shallow levels descending to
+  leveled deep ones) open the part of the design space no scalar ``(K, Z)``
+  pair reaches.
 
 Two views of a policy coexist:
 
@@ -337,13 +344,36 @@ class FluidPolicy(CompactionPolicy):
     ``k_bound=None`` defaults to ``T - 1`` (tiering-like upper levels) and
     ``z_bound=None`` to ``1`` (a single leveled run at the largest level), so
     an unparameterised fluid tuning is lazy leveling.
+
+    Full Dostoevsky generality replaces the shared scalar ``K`` with a
+    per-level vector ``k_bounds = (K_1, K_2, …)``, shallowest level first:
+    ``runs_per_level(level)`` reads ``k_bounds[level - 1]`` (levels deeper
+    than the vector reuse its last element) and the largest level reads
+    ``Z``, so this strategy is a thin view over the vector.  A uniform
+    vector behaves bit-identically to the scalar it repeats.
     """
 
     policy = Policy.FLUID
 
     def __init__(
-        self, k_bound: float | None = None, z_bound: float | None = None
+        self,
+        k_bound: float | None = None,
+        z_bound: float | None = None,
+        k_bounds: Sequence[float] | None = None,
     ) -> None:
+        if k_bounds is not None:
+            if k_bound is not None:
+                raise ValueError(
+                    "scalar k_bound and per-level k_bounds are mutually exclusive"
+                )
+            vector = tuple(float(bound) for bound in k_bounds)
+            if not vector:
+                raise ValueError("k_bounds must hold at least one level bound")
+            if any(bound < 1.0 for bound in vector):
+                raise ValueError(f"k_bounds must all be at least 1, got {vector}")
+            self.k_bounds: tuple[float, ...] | None = vector
+        else:
+            self.k_bounds = None
         if k_bound is not None and k_bound < 1.0:
             raise ValueError(f"k_bound must be at least 1, got {k_bound}")
         if z_bound is not None and z_bound < 1.0:
@@ -352,24 +382,62 @@ class FluidPolicy(CompactionPolicy):
         self.z_bound = 1.0 if z_bound is None else float(z_bound)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        k = "T-1" if self.k_bound is None else f"{self.k_bound:g}"
+        if self.k_bounds is not None:
+            k = "(" + ",".join(f"{bound:g}" for bound in self.k_bounds) + ")"
+        else:
+            k = "T-1" if self.k_bound is None else f"{self.k_bound:g}"
         return f"FluidPolicy(K={k}, Z={self.z_bound:g})"
 
     def for_tuning(self, tuning) -> "FluidPolicy":
-        return FluidPolicy(k_bound=tuning.k_bound, z_bound=tuning.z_bound)
+        return FluidPolicy(
+            k_bound=tuning.k_bound,
+            z_bound=tuning.z_bound,
+            k_bounds=getattr(tuning, "k_bounds", None),
+        )
 
     # ------------------------------------------------------------------
     # Effective (clamped) bounds
     # ------------------------------------------------------------------
     def effective_bounds(self, size_ratio):
-        """Per-``T`` effective ``(K, Z)``: the bounds clamped to ``[1, T-1]``."""
+        """Per-``T`` effective ``(K, Z)``: the bounds clamped to ``[1, T-1]``.
+
+        For a per-level vector the ``K`` component is the *first* level's
+        bound (the scalar view of a vector policy is level-dependent; use
+        :meth:`upper_level_bounds` for the whole vector).
+        """
         cap = np.maximum(np.asarray(size_ratio, dtype=float) - 1.0, 1.0)
-        if self.k_bound is None:
+        if self.k_bounds is not None:
+            k = np.clip(self.k_bounds[0], 1.0, cap)
+        elif self.k_bound is None:
             k = cap
         else:
             k = np.clip(self.k_bound, 1.0, cap)
         z = np.clip(self.z_bound, 1.0, cap)
         return k, z
+
+    def upper_level_bounds(self, size_ratio, level):
+        """Clamped run bound of each (upper) ``level``, broadcastable.
+
+        Reads the per-level vector when one is present — ``level`` indexes it
+        1-based, levels past its end reuse the last element — and falls back
+        to the scalar ``K`` (or the tracking default ``T - 1``) otherwise.
+        """
+        cap = np.maximum(np.asarray(size_ratio, dtype=float) - 1.0, 1.0)
+        if self.k_bounds is not None:
+            vector = np.asarray(self.k_bounds, dtype=float)
+            index = np.clip(
+                np.asarray(level).astype(np.int64) - 1, 0, vector.size - 1
+            )
+            return np.clip(vector[index], 1.0, cap)
+        if self.k_bound is None:
+            return cap
+        return np.clip(self.k_bound, 1.0, cap)
+
+    def _raw_upper_bound(self, level: int) -> float | None:
+        """Unclamped bound of one upper ``level`` (``None`` = track ``T-1``)."""
+        if self.k_bounds is not None:
+            return self.k_bounds[min(level, len(self.k_bounds)) - 1]
+        return self.k_bound
 
     # ------------------------------------------------------------------
     # Analytical quantities
@@ -378,7 +446,9 @@ class FluidPolicy(CompactionPolicy):
         size_ratio, level, num_levels = np.broadcast_arrays(
             size_ratio, level, num_levels
         )
-        k, z = self.effective_bounds(size_ratio)
+        cap = np.maximum(np.asarray(size_ratio, dtype=float) - 1.0, 1.0)
+        k = self.upper_level_bounds(size_ratio, level)
+        z = np.clip(self.z_bound, 1.0, cap)
         return np.where(level >= num_levels, z, k)
 
     def merge_factor(self, size_ratio, level, num_levels):
@@ -386,7 +456,9 @@ class FluidPolicy(CompactionPolicy):
             size_ratio, level, num_levels
         )
         size_ratio = np.asarray(size_ratio, dtype=float)
-        k, z = self.effective_bounds(size_ratio)
+        cap = np.maximum(size_ratio - 1.0, 1.0)
+        k = self.upper_level_bounds(size_ratio, level)
+        z = np.clip(self.z_bound, 1.0, cap)
         return np.where(
             level >= num_levels,
             (size_ratio - 1.0) / (z + 1.0),
@@ -399,7 +471,7 @@ class FluidPolicy(CompactionPolicy):
     def merges_on_arrival(self, level: int, last_level: int) -> bool:
         if level >= last_level:
             return self.z_bound == 1.0
-        return self.k_bound == 1.0
+        return self._raw_upper_bound(level) == 1.0
 
     def max_resident_runs(
         self, size_ratio: int, level: int = 1, last_level: int | None = None
@@ -407,9 +479,10 @@ class FluidPolicy(CompactionPolicy):
         cap = max(1, int(size_ratio) - 1)
         if last_level is not None and level >= last_level:
             return int(np.clip(self.z_bound, 1, cap))
-        if self.k_bound is None:
+        bound = self._raw_upper_bound(level)
+        if bound is None:
             return cap
-        return int(np.clip(self.k_bound, 1, cap))
+        return int(np.clip(bound, 1, cap))
 
     def compacts_within_level(self, level: int, last_level: int) -> bool:
         return True
@@ -420,20 +493,33 @@ class PolicySpec:
     """A fully specified policy candidate: identity plus fluid run bounds.
 
     The tuners sweep a sequence of these; for classical policies the bounds
-    are ``None`` and the spec is just the enum.  Specs are hashable, so they
-    can key per-policy result dictionaries.
+    are ``None`` and the spec is just the enum.  Fluid specs carry either the
+    scalar ``(K, Z)`` pair or a per-level ``k_bounds`` vector (shallowest
+    level first, deeper levels reusing the last element).  Specs are
+    hashable, so they can key per-policy result dictionaries.
     """
 
     policy: Policy
     k_bound: float | None = None
     z_bound: float | None = None
+    k_bounds: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policy", Policy.from_value(self.policy))
         if self.policy is not Policy.FLUID and (
-            self.k_bound is not None or self.z_bound is not None
+            self.k_bound is not None
+            or self.z_bound is not None
+            or self.k_bounds is not None
         ):
             raise ValueError("run bounds are only meaningful for the fluid policy")
+        if self.k_bounds is not None:
+            if self.k_bound is not None:
+                raise ValueError(
+                    "scalar k_bound and per-level k_bounds are mutually exclusive"
+                )
+            object.__setattr__(
+                self, "k_bounds", tuple(float(bound) for bound in self.k_bounds)
+            )
 
     @classmethod
     def of(cls, value: "Policy | str | PolicySpec") -> "PolicySpec":
@@ -447,7 +533,10 @@ class PolicySpec:
         """Stable display name, e.g. ``fluid[K=4,Z=1]`` or ``leveling``."""
         if self.policy is not Policy.FLUID:
             return self.policy.value
-        k = "T-1" if self.k_bound is None else f"{self.k_bound:g}"
+        if self.k_bounds is not None:
+            k = "(" + ",".join(f"{bound:g}" for bound in self.k_bounds) + ")"
+        else:
+            k = "T-1" if self.k_bound is None else f"{self.k_bound:g}"
         z = "1" if self.z_bound is None else f"{self.z_bound:g}"
         return f"fluid[K={k},Z={z}]"
 
@@ -455,7 +544,9 @@ class PolicySpec:
     def strategy(self) -> CompactionPolicy:
         """The (possibly parameterised) strategy this spec describes."""
         if self.policy is Policy.FLUID:
-            return FluidPolicy(k_bound=self.k_bound, z_bound=self.z_bound)
+            return FluidPolicy(
+                k_bound=self.k_bound, z_bound=self.z_bound, k_bounds=self.k_bounds
+            )
         return self.policy.strategy
 
 
@@ -470,12 +561,97 @@ DEFAULT_FLUID_K_GRID: tuple[float, ...] = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48,
 #: :func:`expand_policy_specs` cover the tiering corner exactly.
 DEFAULT_FLUID_Z_GRID: tuple[float, ...] = (1, 2, 4)
 
+#: ``K`` peaks of the front-loaded ladder family swept when per-level
+#: vectors are enabled: each peak unrolls into the halving ladder
+#: ``(K, K/2, …, 1)``.  A subset of the scalar grid keeps the vector sweep
+#: polynomial (one cost-matrix pass per spec).
+DEFAULT_LADDER_PEAKS: tuple[float, ...] = (2, 3, 4, 8, 16, 32)
+
+#: Upper levels covered explicitly by generated bound vectors; deeper levels
+#: reuse the vector's last element, so the families stay meaningful for any
+#: tree depth the ``(T, h)`` sweep produces.
+DEFAULT_VECTOR_LEVELS = 4
+
+
+def halving_ladder(peak: float) -> tuple[float, ...]:
+    """The front-loaded "lazy ladder" ``(peak, peak/2, …, 1)``.
+
+    Shallow levels stack up to ``peak`` runs (cheap writes where levels are
+    small and merge often), each deeper level halves the bound until the
+    leveled ``1`` is reached — deep levels hold almost all data, so keeping
+    them single-run is what wins point and long-range reads.
+    """
+    bounds: list[float] = []
+    bound = max(1.0, float(peak))
+    while bound > 1.0:
+        bounds.append(float(np.ceil(bound)))
+        bound /= 2.0
+    bounds.append(1.0)
+    return tuple(bounds)
+
+
+def fluid_vector_specs(
+    max_size_ratio: float = 100.0,
+    ladder_peaks: Sequence[float] | None = None,
+    z_grid: Sequence[float] | None = None,
+    vector_levels: int = DEFAULT_VECTOR_LEVELS,
+) -> tuple[PolicySpec, ...]:
+    """Structured per-level bound-vector candidates for the fluid sweep.
+
+    Two families keep the enumeration polynomial while covering the
+    non-uniform part of the Dostoevsky design space:
+
+    * **front-loaded ladders** — :func:`halving_ladder` of each peak in
+      ``ladder_peaks``, crossed with the ``Z`` grid (``Z <= peak``, matching
+      the scalar sweep's diagonal cut);
+    * **single-level perturbations** — the all-leveled vector with one level
+      bumped to a peak, for each of the first ``vector_levels`` levels: the
+      minimal non-uniform designs, and the natural seeds of the
+      coordinate-descent refinement the tuners run afterwards.
+
+    Uniform vectors are deliberately absent: the scalar ``(K, Z)`` grid of
+    :func:`expand_policy_specs` covers them bit-identically.
+    """
+    if ladder_peaks is None:
+        ladder_peaks = DEFAULT_LADDER_PEAKS
+    if z_grid is None:
+        z_grid = DEFAULT_FLUID_Z_GRID
+    cap = max(1.0, float(max_size_ratio) - 1.0)
+    # Filter on the *clamped* peak: at a tiny ratio cap every peak collapses
+    # to 1 and would only re-emit the all-leveled uniform vectors the scalar
+    # grid already covers.
+    peaks = sorted(
+        {float(min(peak, cap)) for peak in ladder_peaks if min(peak, cap) > 1}
+    )
+    zs = sorted({float(min(z, cap)) for z in z_grid if z >= 1})
+    specs: list[PolicySpec] = []
+    seen: set[PolicySpec] = set()
+
+    def add(spec: PolicySpec) -> None:
+        if spec not in seen:
+            seen.add(spec)
+            specs.append(spec)
+
+    for peak in peaks:
+        ladder = halving_ladder(peak)
+        if len(set(ladder)) > 1:
+            for z in zs:
+                if z <= peak:
+                    add(PolicySpec(Policy.FLUID, k_bounds=ladder, z_bound=z))
+        for position in range(max(1, int(vector_levels))):
+            bumped = [1.0] * max(position + 1, 2)
+            bumped[position] = peak
+            add(PolicySpec(Policy.FLUID, k_bounds=tuple(bumped), z_bound=1.0))
+    return tuple(specs)
+
 
 def expand_policy_specs(
     policies: Iterable["Policy | str | PolicySpec"],
     max_size_ratio: float = 100.0,
     k_grid: Sequence[float] | None = None,
     z_grid: Sequence[float] | None = None,
+    include_k_vectors: bool = False,
+    vector_levels: int = DEFAULT_VECTOR_LEVELS,
 ) -> tuple[PolicySpec, ...]:
     """Unfold a policy list into the concrete specs a tuner sweeps.
 
@@ -492,11 +668,16 @@ def expand_policy_specs(
       bounded largest level targets), plus the ``Z = K`` diagonal itself so
       the tiering corner is represented exactly, plus a top candidate at
       ``max_size_ratio - 1`` so tiering/lazy leveling are recovered exactly
-      for every size ratio on the sweep grid.
+      for every size ratio on the sweep grid;
+    * with ``include_k_vectors`` the structured per-level families of
+      :func:`fluid_vector_specs` (front-loaded ladders and single-level
+      perturbations) join the sweep after the scalar grid, opening the
+      non-uniform Dostoevsky space while keeping the enumeration
+      polynomial.
 
     Tracking specs precede fixed-``K`` specs so they win exact ties in the
     sweep.  Explicit :class:`PolicySpec` entries pass through untouched, so
-    callers can pin ``K``/``Z`` by hand.
+    callers can pin ``K``/``Z`` — or a whole ``K_i`` vector — by hand.
     """
     if k_grid is None:
         k_grid = DEFAULT_FLUID_K_GRID
@@ -528,6 +709,13 @@ def expand_policy_specs(
                 if z <= k:
                     add(PolicySpec(policy=policy, k_bound=k, z_bound=z))
             add(PolicySpec(policy=policy, k_bound=k, z_bound=k))
+        if include_k_vectors:
+            for spec in fluid_vector_specs(
+                max_size_ratio=max_size_ratio,
+                z_grid=z_grid,
+                vector_levels=vector_levels,
+            ):
+                add(spec)
     if not specs:
         raise ValueError("at least one compaction policy is required")
     return tuple(specs)

@@ -2,19 +2,42 @@
 
 A tuning ``Φ = (T, h, π)`` fixes the size ratio between levels, the number of
 Bloom-filter bits allocated per entry (equivalently ``m_filt``) and the
-compaction policy.  Fluid tunings carry two further dimensions — the run
-bounds ``K`` (upper levels) and ``Z`` (largest level) of Dostoevsky's fluid
-LSM.  The write-buffer memory is derived from the system's total memory
-budget: ``m_buf = m − m_filt``.
+compaction policy.  Fluid tunings carry further dimensions — the run bounds
+of Dostoevsky's fluid LSM, in either of two representations:
+
+* the scalar pair ``K`` (one bound shared by every level but the largest)
+  and ``Z`` (the largest level), the classical fluid parameterisation; or
+* a per-level bound vector ``K_i`` (``k_bounds``), one independent run bound
+  per upper level, which is the fully general Dostoevsky design space.  The
+  scalar ``K`` is the uniform special case of the vector; levels deeper than
+  the vector's length reuse its last element, so one vector stays meaningful
+  across the whole ``(T, h)`` grid the tuners sweep.
+
+The write-buffer memory is derived from the system's total memory budget:
+``m_buf = m − m_filt``.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from .policy import CompactionPolicy, Policy
 from .system import SystemConfig
+
+
+def round_half_up(value: float) -> int:
+    """Round to the nearest integer, ties away from zero.
+
+    ``round()`` rounds half to even, so a size ratio of exactly 2.5 would
+    round *down* to 2 — and at ``T = 2`` the deployable run-bound range
+    ``[1, T - 1]`` collapses to the single point 1, crushing any fluid bound
+    the continuous optimiser chose.  Deterministic half-up rounding keeps the
+    documented "round up at the midpoint" contract and the bound clamp
+    consistent.
+    """
+    return int(math.floor(float(value) + 0.5))
 
 
 @dataclass(frozen=True)
@@ -33,14 +56,22 @@ class LSMTuning:
         Compaction policy (leveling, tiering, lazy leveling, 1-leveling or
         fluid).
     k_bound:
-        Fluid run bound ``K`` of every level but the largest.  Only
-        meaningful for :attr:`Policy.FLUID`; defaults to ``T - 1`` there
-        (tiering-like upper levels) and is forced to ``None`` for every
-        other policy so classical tunings compare equal regardless of how
-        they were built.
+        Fluid run bound ``K`` of every level but the largest — the *uniform*
+        parameterisation.  Only meaningful for :attr:`Policy.FLUID`; defaults
+        to ``T - 1`` there (tiering-like upper levels) and is forced to
+        ``None`` for every other policy so classical tunings compare equal
+        regardless of how they were built.  Forced to ``None`` when a
+        per-level vector is supplied (the vector is authoritative).
     z_bound:
         Fluid run bound ``Z`` of the largest level; defaults to ``1`` (a
         single leveled run) for fluid tunings, ``None`` otherwise.
+    k_bounds:
+        Optional per-level run-bound vector ``(K_1, K_2, …)`` for the upper
+        levels, shallowest first.  Levels deeper than the vector reuse its
+        last element; the largest level always reads ``z_bound``.  ``None``
+        (the default) keeps the scalar representation, so every pre-vector
+        tuning round-trips bit-identically through :meth:`to_dict` /
+        :meth:`from_dict`.
     """
 
     size_ratio: float
@@ -48,6 +79,7 @@ class LSMTuning:
     policy: Policy
     k_bound: float | None = None
     z_bound: float | None = None
+    k_bounds: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.size_ratio < 2.0:
@@ -58,23 +90,44 @@ class LSMTuning:
             )
         object.__setattr__(self, "policy", Policy.from_value(self.policy))
         if self.policy is Policy.FLUID:
-            k = self.size_ratio - 1.0 if self.k_bound is None else float(self.k_bound)
             z = 1.0 if self.z_bound is None else float(self.z_bound)
-            if k < 1.0 or z < 1.0:
-                raise ValueError(
-                    f"fluid run bounds must be at least 1, got K={k}, Z={z}"
+            if z < 1.0:
+                raise ValueError(f"fluid run bounds must be at least 1, got Z={z}")
+            if self.k_bounds is not None:
+                vector = tuple(float(bound) for bound in self.k_bounds)
+                if not vector:
+                    raise ValueError("k_bounds must hold at least one level bound")
+                if any(bound < 1.0 for bound in vector):
+                    raise ValueError(
+                        f"fluid run bounds must be at least 1, got K_i={vector}"
+                    )
+                # The vector is authoritative: the scalar K is dropped so two
+                # tunings with the same vector compare equal regardless of
+                # what scalar the caller also passed.
+                object.__setattr__(self, "k_bound", None)
+                object.__setattr__(self, "k_bounds", vector)
+            else:
+                k = (
+                    self.size_ratio - 1.0
+                    if self.k_bound is None
+                    else float(self.k_bound)
                 )
-            object.__setattr__(self, "k_bound", k)
+                if k < 1.0:
+                    raise ValueError(
+                        f"fluid run bounds must be at least 1, got K={k}"
+                    )
+                object.__setattr__(self, "k_bound", k)
             object.__setattr__(self, "z_bound", z)
         else:
             # Classical policies carry no run bounds; normalising them to
             # ``None`` keeps equality and hashing independent of the caller.
             object.__setattr__(self, "k_bound", None)
             object.__setattr__(self, "z_bound", None)
+            object.__setattr__(self, "k_bounds", None)
 
     @property
     def strategy(self) -> CompactionPolicy:
-        """The :class:`CompactionPolicy` of this tuning, bound to its ``K``/``Z``."""
+        """The :class:`CompactionPolicy` of this tuning, bound to its bounds."""
         return self.policy.strategy.for_tuning(self)
 
     # ------------------------------------------------------------------
@@ -104,16 +157,27 @@ class LSMTuning:
 
         Real LSM engines cannot use fractional size ratios, so — like the
         paper does when deploying on RocksDB — we round the continuous value
-        produced by the optimiser up to the nearest integer (never below 2).
-        Fluid run bounds are rounded the same way (runs are counted in whole
-        numbers) and clamped to the deployable range ``[1, T - 1]``.
+        produced by the optimiser up to the nearest integer (never below 2),
+        with ties at the midpoint going up (:func:`round_half_up`; built-in
+        ``round`` would send ``T = 2.5`` *down* to 2, where the deployable
+        bound range ``[1, T - 1]`` collapses to 1 and crushes every fluid
+        bound).  Fluid run bounds are rounded the same way (runs are counted
+        in whole numbers) and clamped — element-wise for a per-level vector —
+        to the deployable range ``[1, T - 1]``.
         """
-        rounded_ratio = max(2, round(self.size_ratio))
+        rounded_ratio = max(2, round_half_up(self.size_ratio))
         changes: dict[str, Any] = {"size_ratio": float(rounded_ratio)}
         if self.policy is Policy.FLUID:
             cap = max(1, rounded_ratio - 1)
-            changes["k_bound"] = float(min(max(1, round(self.k_bound)), cap))
-            changes["z_bound"] = float(min(max(1, round(self.z_bound)), cap))
+
+            def deploy(bound: float) -> float:
+                return float(min(max(1, round_half_up(bound)), cap))
+
+            if self.k_bounds is not None:
+                changes["k_bounds"] = tuple(deploy(bound) for bound in self.k_bounds)
+            else:
+                changes["k_bound"] = deploy(self.k_bound)
+            changes["z_bound"] = deploy(self.z_bound)
         return replace(self, **changes)
 
     def with_policy(self, policy: Policy | str) -> "LSMTuning":
@@ -123,15 +187,26 @@ class LSMTuning:
         ``Z = 1``); switching away drops them.
         """
         return replace(
-            self, policy=Policy.from_value(policy), k_bound=None, z_bound=None
+            self,
+            policy=Policy.from_value(policy),
+            k_bound=None,
+            z_bound=None,
+            k_bounds=None,
         )
 
     def with_bounds(
-        self, k_bound: float | None = None, z_bound: float | None = None
+        self,
+        k_bound: float | None = None,
+        z_bound: float | None = None,
+        k_bounds: Sequence[float] | None = None,
     ) -> "LSMTuning":
         """Return a fluid copy of this tuning with the given run bounds."""
         return replace(
-            self, policy=Policy.FLUID, k_bound=k_bound, z_bound=z_bound
+            self,
+            policy=Policy.FLUID,
+            k_bound=k_bound,
+            z_bound=z_bound,
+            k_bounds=None if k_bounds is None else tuple(k_bounds),
         )
 
     def clamped(self, system: SystemConfig) -> "LSMTuning":
@@ -149,8 +224,9 @@ class LSMTuning:
     def to_dict(self) -> dict[str, Any]:
         """Serialise to a plain dictionary.
 
-        The fluid run bounds only appear when present, so serialised
-        classical tunings are byte-identical to earlier releases.
+        The fluid run bounds only appear when present — and the per-level
+        vector only when one was supplied — so serialised classical and
+        scalar-fluid tunings are byte-identical to earlier releases.
         """
         data: dict[str, Any] = {
             "size_ratio": self.size_ratio,
@@ -161,6 +237,8 @@ class LSMTuning:
             data["k_bound"] = self.k_bound
         if self.z_bound is not None:
             data["z_bound"] = self.z_bound
+        if self.k_bounds is not None:
+            data["k_bounds"] = list(self.k_bounds)
         return data
 
     @classmethod
@@ -168,12 +246,18 @@ class LSMTuning:
         """Build a tuning from a mapping produced by :meth:`to_dict`."""
         k_bound = data.get("k_bound")
         z_bound = data.get("z_bound")
+        k_bounds = data.get("k_bounds")
         return cls(
             size_ratio=float(data["size_ratio"]),
             bits_per_entry=float(data["bits_per_entry"]),
             policy=Policy.from_value(data["policy"]),
             k_bound=None if k_bound is None else float(k_bound),
             z_bound=None if z_bound is None else float(z_bound),
+            k_bounds=(
+                None
+                if k_bounds is None
+                else tuple(float(bound) for bound in k_bounds)
+            ),
         )
 
     def describe(self) -> str:
@@ -183,5 +267,9 @@ class LSMTuning:
             f"h: {self.bits_per_entry:.1f}"
         )
         if self.policy is Policy.FLUID:
-            base += f", K: {self.k_bound:.0f}, Z: {self.z_bound:.0f}"
+            if self.k_bounds is not None:
+                vector = ",".join(f"{bound:.0f}" for bound in self.k_bounds)
+                base += f", K: [{vector}], Z: {self.z_bound:.0f}"
+            else:
+                base += f", K: {self.k_bound:.0f}, Z: {self.z_bound:.0f}"
         return base

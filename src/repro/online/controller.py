@@ -37,7 +37,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..core.uncertainty import UncertaintyRegion
-from ..lsm.policy import CLASSIC_POLICIES, Policy
+from ..lsm.policy import CLASSIC_POLICIES, Policy, PolicySpec
 from ..lsm.system import SystemConfig
 from ..lsm.tuning import LSMTuning
 from ..storage.lsm_tree import LSMTree
@@ -104,6 +104,11 @@ class OnlineConfig:
     volatility_gain: float = 2.0
     #: Upper bound of the widened radius.
     rho_cap: float = 4.0
+    #: Whether fluid re-tunings search per-level ``K_i`` bound vectors (the
+    #: offline tuners' ``k_vector_search`` flag, threaded through the
+    #: re-tuner).  Vector proposals migrate like any other tuning — the
+    #: decision serialises the vector and the migration plan deploys it.
+    k_vector_search: bool = False
 
     def __post_init__(self) -> None:
         if self.check_interval <= 0:
@@ -188,7 +193,9 @@ class OnlineLSMController:
     config:
         Online-loop knobs; defaults are reasonable for simulator-scale runs.
     policies:
-        Compaction policies re-tunings may deploy.
+        Compaction policies re-tunings may deploy (enum members, strings,
+        or explicit :class:`~repro.lsm.policy.PolicySpec` entries — including
+        per-level ``k_bounds`` vector specs).
     system:
         System configuration; defaults to the tree's own.
     """
@@ -196,7 +203,7 @@ class OnlineLSMController:
     tree: LSMTree
     expected: Workload
     config: OnlineConfig = field(default_factory=OnlineConfig)
-    policies: Sequence[Policy] = CLASSIC_POLICIES
+    policies: Sequence[Policy | str | PolicySpec] = CLASSIC_POLICIES
     system: SystemConfig | None = None
 
     def __post_init__(self) -> None:
@@ -223,6 +230,7 @@ class OnlineLSMController:
             rho_adaptive=self.config.rho_adaptive,
             volatility_gain=self.config.volatility_gain,
             rho_cap=self.config.rho_cap,
+            k_vector_search=self.config.k_vector_search,
         )
         self.position = 0
         self.events: list[RetuningEvent] = []

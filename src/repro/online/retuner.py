@@ -21,7 +21,7 @@ from typing import Sequence
 from ..core.nominal import NominalTuner
 from ..core.robust import RobustTuner
 from ..lsm.cost_model import LSMCostModel
-from ..lsm.policy import CLASSIC_POLICIES, Policy
+from ..lsm.policy import CLASSIC_POLICIES, Policy, PolicySpec
 from ..lsm.system import SystemConfig
 from ..lsm.tuning import LSMTuning
 from ..workloads.workload import Workload
@@ -103,7 +103,16 @@ class AdaptiveTuner:
     rho:
         Uncertainty radius of robust re-tunings (ignored in nominal mode).
     policies:
-        Compaction policies the re-tuner may deploy.
+        Compaction policies the re-tuner may deploy.  Entries may be enum
+        members, strings, or explicit :class:`~repro.lsm.policy.PolicySpec`
+        instances — including specs pinning a per-level ``k_bounds`` vector.
+    k_vector_search:
+        Whether fluid re-tunings search per-level ``K_i`` bound vectors
+        (structured families + coordinate descent + continuous-bound
+        polish), exactly like the offline tuners' flag.  A vector proposal
+        flows through the migration machinery unchanged: the decision
+        serialises the vector, and the rebuilt (or incrementally migrated)
+        tree deploys it.
     horizon_ops:
         Amortisation horizon of migrations, in operations.
     safety_factor:
@@ -135,7 +144,7 @@ class AdaptiveTuner:
         system: SystemConfig,
         mode: str = "robust",
         rho: float = 0.25,
-        policies: Sequence[Policy] = CLASSIC_POLICIES,
+        policies: Sequence[Policy | str | PolicySpec] = CLASSIC_POLICIES,
         horizon_ops: int = 20_000,
         safety_factor: float = 1.0,
         polish: bool = False,
@@ -143,6 +152,7 @@ class AdaptiveTuner:
         rho_adaptive: bool = False,
         volatility_gain: float = 2.0,
         rho_cap: float = 4.0,
+        k_vector_search: bool = False,
     ) -> None:
         if mode not in RETUNING_MODES:
             raise ValueError(f"mode must be one of {RETUNING_MODES}, got {mode!r}")
@@ -173,14 +183,24 @@ class AdaptiveTuner:
         self._policies = tuple(policies)
         self._polish = bool(polish)
         self._seed = int(seed)
+        self.k_vector_search = bool(k_vector_search)
         self.cost_model = LSMCostModel(system)
         if mode == "robust":
             self.tuner: NominalTuner | RobustTuner = RobustTuner(
-                rho=self.rho, system=system, policies=policies, polish=polish, seed=seed
+                rho=self.rho,
+                system=system,
+                policies=policies,
+                polish=polish,
+                seed=seed,
+                k_vector_search=self.k_vector_search,
             )
         else:
             self.tuner = NominalTuner(
-                system=system, policies=policies, polish=polish, seed=seed
+                system=system,
+                policies=policies,
+                polish=polish,
+                seed=seed,
+                k_vector_search=self.k_vector_search,
             )
 
     # ------------------------------------------------------------------
@@ -221,6 +241,7 @@ class AdaptiveTuner:
             policies=self._policies,
             polish=self._polish,
             seed=self._seed,
+            k_vector_search=self.k_vector_search,
         )
 
     def retune(

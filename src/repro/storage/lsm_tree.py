@@ -6,9 +6,13 @@ evaluation (§8).  It implements the structure the analytical model assumes:
 * an in-memory write buffer (memtable) holding ``m_buf / E`` entries,
 * exponentially growing disk levels with size ratio ``T``,
 * classic *leveling* and *tiering* compaction plus the *lazy leveling*,
-  *1-leveling* and *fluid* (per-level run bounds ``K``/``Z``) hybrids, all
+  *1-leveling* and *fluid* hybrids — the latter with either the scalar
+  ``K``/``Z`` run bounds or a full per-level ``K_i`` bound vector — all
   driven by the shared :class:`~repro.lsm.policy.CompactionPolicy` strategy
-  objects (the same definitions the analytical cost model uses); fluid
+  objects (the same definitions the analytical cost model uses): the
+  compaction triggers (``max_resident_runs``), the in-place-merge decision
+  (``compacts_within_level``) and the bulk-load run splitting all consult
+  the strategy *per level*, so each level obeys its own bound; fluid
   levels that hit their run bound below capacity compact in place, and
   spill down once the level's entry capacity is exhausted,
 * one Bloom filter per run with Monkey-style per-level allocation,

@@ -216,3 +216,24 @@ class TestPolicyTable:
                 for p in ("leveling", "tiering", "lazy-leveling")
             }
             assert row["best_policy"] == min(costs, key=costs.get)
+
+
+class TestKVectorFrontier:
+    def test_rows_compare_uniform_and_vector_optima(self):
+        from repro.analysis import kvector_frontier
+        from repro.workloads import Workload
+
+        rows = kvector_frontier(
+            [
+                ("mixed", Workload(0.05, 0.25, 0.05, 0.65, long_range_fraction=0.3)),
+                ("reads", Workload(0.4, 0.4, 0.1, 0.1)),
+            ],
+            ratio_candidates=np.arange(2.0, 9.0),
+        )
+        assert [row["workload"] for row in rows] == ["mixed", "reads"]
+        for row in rows:
+            # The vector family contains every uniform design.
+            assert 0.0 <= row["vector_advantage"] < 1.0
+            assert row["vector_cost"] <= row["uniform_cost"]
+            if row["vector_k_bounds"] is not None:
+                assert all(b >= 1.0 for b in row["vector_k_bounds"])

@@ -288,3 +288,148 @@ class TestPolicySpecs:
         # Classical tunings keep their stateless singletons.
         classic = LSMTuning(8.0, 4.0, Policy.LEVELING)
         assert classic.strategy is Policy.LEVELING.strategy
+
+
+class TestFluidVectorBounds:
+    """Per-level K_i vectors: FluidPolicy as a thin view over the vector."""
+
+    def test_runs_per_level_reads_the_vector(self):
+        fluid = FluidPolicy(k_bounds=(4.0, 2.0, 1.0))
+        runs = fluid.runs_per_level(8.0, np.arange(1.0, 6.0), 5.0)
+        # Levels 1..3 read the vector, level 4 reuses the last element,
+        # level 5 (largest) reads Z = 1.
+        np.testing.assert_allclose(runs, [4.0, 2.0, 1.0, 1.0, 1.0])
+
+    def test_merge_factor_reads_the_vector(self):
+        fluid = FluidPolicy(k_bounds=(3.0, 1.0), z_bound=1.0)
+        merges = fluid.merge_factor(8.0, np.arange(1.0, 5.0), 4.0)
+        np.testing.assert_allclose(merges, [7.0 / 4.0, 7.0 / 2.0, 7.0 / 2.0, 7.0 / 2.0])
+
+    def test_vector_clamps_per_level_to_the_feasible_range(self):
+        fluid = FluidPolicy(k_bounds=(64.0, 2.0))
+        runs = fluid.runs_per_level(4.0, np.arange(1.0, 4.0), 3.0)
+        np.testing.assert_allclose(runs, [3.0, 2.0, 1.0])  # 64 capped at T - 1
+
+    def test_uniform_vector_matches_the_scalar_everywhere(self):
+        scalar = FluidPolicy(k_bound=3.0, z_bound=2.0)
+        vector = FluidPolicy(k_bounds=(3.0,) * 8, z_bound=2.0)
+        ratios = np.array([2.0, 3.5, 8.0, 40.0]).reshape(-1, 1)
+        levels = np.arange(1.0, 7.0).reshape(1, -1)
+        np.testing.assert_array_equal(
+            scalar.runs_per_level(ratios, levels, 6.0),
+            vector.runs_per_level(ratios, levels, 6.0),
+        )
+        np.testing.assert_array_equal(
+            scalar.merge_factor(ratios, levels, 6.0),
+            vector.merge_factor(ratios, levels, 6.0),
+        )
+
+    def test_runtime_hooks_answer_per_level(self):
+        fluid = FluidPolicy(k_bounds=(4.0, 1.0), z_bound=1.0)
+        assert not fluid.merges_on_arrival(1, 4)  # bound 4: stacks
+        assert fluid.merges_on_arrival(2, 4)  # bound 1: leveled
+        assert fluid.merges_on_arrival(3, 4)  # reuses last element (1)
+        assert fluid.merges_on_arrival(4, 4)  # Z = 1
+        assert fluid.max_resident_runs(8, 1, 4) == 4
+        assert fluid.max_resident_runs(8, 2, 4) == 1
+        assert fluid.max_resident_runs(3, 1, 4) == 2  # clamped to T - 1
+
+    def test_rejects_bad_vectors(self):
+        with pytest.raises(ValueError):
+            FluidPolicy(k_bounds=())
+        with pytest.raises(ValueError):
+            FluidPolicy(k_bounds=(2.0, 0.5))
+        with pytest.raises(ValueError):
+            FluidPolicy(k_bound=2.0, k_bounds=(2.0,))
+
+    def test_for_tuning_carries_the_vector(self):
+        from repro.lsm import LSMTuning
+
+        tuning = LSMTuning(8.0, 4.0, Policy.FLUID, k_bounds=(4.0, 2.0), z_bound=2.0)
+        bound = tuning.strategy
+        assert isinstance(bound, FluidPolicy)
+        assert bound.k_bounds == (4.0, 2.0)
+        assert bound.z_bound == 2.0
+
+
+class TestVectorPolicySpecs:
+    def test_vector_specs_are_hashable_and_named(self):
+        spec = PolicySpec(Policy.FLUID, k_bounds=(4.0, 2.0, 1.0), z_bound=2.0)
+        assert spec.name == "fluid[K=(4,2,1),Z=2]"
+        assert hash(spec) == hash(
+            PolicySpec(Policy.FLUID, k_bounds=(4.0, 2.0, 1.0), z_bound=2.0)
+        )
+
+    def test_vector_specs_coerce_lists_to_tuples(self):
+        spec = PolicySpec(Policy.FLUID, k_bounds=[4, 2])
+        assert spec.k_bounds == (4.0, 2.0)
+
+    def test_scalar_and_vector_bounds_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            PolicySpec(Policy.FLUID, k_bound=4.0, k_bounds=(4.0,))
+
+    def test_classical_specs_reject_vectors(self):
+        with pytest.raises(ValueError):
+            PolicySpec(Policy.LEVELING, k_bounds=(2.0,))
+
+    def test_vector_spec_strategy_is_bound_to_the_vector(self):
+        strategy = PolicySpec(Policy.FLUID, k_bounds=(4.0, 1.0)).strategy
+        assert isinstance(strategy, FluidPolicy)
+        assert strategy.k_bounds == (4.0, 1.0)
+
+
+class TestVectorFamilies:
+    def test_halving_ladder_descends_to_one(self):
+        from repro.lsm import halving_ladder
+
+        assert halving_ladder(8) == (8.0, 4.0, 2.0, 1.0)
+        assert halving_ladder(3) == (3.0, 2.0, 1.0)
+        assert halving_ladder(1) == (1.0,)
+
+    def test_expansion_without_the_flag_is_unchanged(self):
+        flat = expand_policy_specs([Policy.FLUID], max_size_ratio=40.0)
+        assert all(spec.k_bounds is None for spec in flat)
+
+    def test_expansion_with_the_flag_adds_vector_families(self):
+        specs = expand_policy_specs(
+            [Policy.FLUID], max_size_ratio=40.0, include_k_vectors=True
+        )
+        vectors = [spec for spec in specs if spec.k_bounds is not None]
+        assert vectors, "vector families must join the sweep"
+        # Front-loaded ladders: non-increasing, peak > 1, end at 1.
+        ladders = [
+            spec.k_bounds
+            for spec in vectors
+            if len(set(spec.k_bounds)) > 1
+            and tuple(sorted(spec.k_bounds, reverse=True)) == spec.k_bounds
+        ]
+        assert ladders
+        # Single-level perturbations: exactly one bumped level.
+        bumps = [
+            spec.k_bounds
+            for spec in vectors
+            if sum(1 for bound in spec.k_bounds if bound > 1.0) == 1
+            and spec.k_bounds[-1] == 1.0
+        ]
+        assert bumps
+        # The scalar grid still precedes the vector families.
+        assert specs[0].k_bounds is None
+
+    def test_vector_families_respect_the_ratio_cap(self):
+        from repro.lsm import fluid_vector_specs
+
+        for spec in fluid_vector_specs(max_size_ratio=5.0):
+            assert all(bound <= 4.0 for bound in spec.k_bounds)
+
+    def test_degenerate_cap_produces_no_vector_specs(self):
+        """At max_size_ratio <= 2 every bound clamps to 1, so the families
+        would only duplicate the all-leveled uniform vectors the scalar
+        grid already covers — the expansion must emit nothing."""
+        from repro.lsm import fluid_vector_specs
+
+        assert fluid_vector_specs(max_size_ratio=2.0) == ()
+
+    def test_explicit_vector_specs_pass_through(self):
+        pinned = PolicySpec(Policy.FLUID, k_bounds=(9.0, 3.0, 1.0))
+        specs = expand_policy_specs([pinned])
+        assert specs == (pinned,)

@@ -1,8 +1,10 @@
 """Tests for the LSM tuning configuration object."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.lsm import LSMTuning, Policy, SystemConfig
+from repro.lsm import ALL_POLICIES, LSMTuning, Policy, SystemConfig
 
 
 class TestConstruction:
@@ -143,3 +145,156 @@ class TestFluidBounds:
     def test_describe_includes_the_bounds(self):
         text = LSMTuning(8.0, 4.0, Policy.FLUID, k_bound=3.0, z_bound=2.0).describe()
         assert "K: 3" in text and "Z: 2" in text
+
+
+class TestKBoundVectors:
+    """Per-level ``k_bounds`` vectors: full Dostoevsky generality."""
+
+    def test_vector_construction_normalises_to_floats(self):
+        tuning = LSMTuning(8.0, 4.0, Policy.FLUID, k_bounds=(4, 2, 1), z_bound=2)
+        assert tuning.k_bounds == (4.0, 2.0, 1.0)
+        assert tuning.z_bound == 2.0
+        assert tuning.k_bound is None  # the vector is authoritative
+
+    def test_vector_wins_over_scalar_when_both_given(self):
+        with_both = LSMTuning(
+            8.0, 4.0, Policy.FLUID, k_bound=5.0, k_bounds=(4.0, 2.0)
+        )
+        assert with_both == LSMTuning(8.0, 4.0, Policy.FLUID, k_bounds=(4.0, 2.0))
+
+    def test_rejects_empty_and_sub_unit_vectors(self):
+        with pytest.raises(ValueError):
+            LSMTuning(8.0, 4.0, Policy.FLUID, k_bounds=())
+        with pytest.raises(ValueError):
+            LSMTuning(8.0, 4.0, Policy.FLUID, k_bounds=(2.0, 0.5))
+
+    def test_classical_policies_drop_the_vector(self):
+        tuning = LSMTuning(8.0, 4.0, Policy.LEVELING, k_bounds=(4.0, 2.0))
+        assert tuning.k_bounds is None
+        assert tuning == LSMTuning(8.0, 4.0, Policy.LEVELING)
+
+    def test_vector_round_trip(self):
+        tuning = LSMTuning(6.0, 4.0, Policy.FLUID, k_bounds=(4.0, 2.0, 1.0), z_bound=2.0)
+        assert LSMTuning.from_dict(tuning.to_dict()) == tuning
+
+    def test_scalar_serialisation_has_no_vector_key(self):
+        tuning = LSMTuning(8.0, 4.0, Policy.FLUID, k_bound=3.0)
+        assert "k_bounds" not in tuning.to_dict()
+
+    def test_rounded_clamps_the_vector_elementwise(self):
+        tuning = LSMTuning(4.4, 4.0, Policy.FLUID, k_bounds=(7.6, 2.4, 1.4), z_bound=1.4)
+        rounded = tuning.rounded()
+        assert rounded.size_ratio == 4.0
+        assert rounded.k_bounds == (3.0, 2.0, 1.0)  # 7.6 capped at T - 1
+        assert rounded.z_bound == 1.0
+
+    def test_with_bounds_accepts_a_vector(self):
+        tuning = LSMTuning(8.0, 4.0, Policy.LEVELING).with_bounds(
+            k_bounds=(4.0, 1.0), z_bound=2.0
+        )
+        assert tuning.policy is Policy.FLUID
+        assert tuning.k_bounds == (4.0, 1.0)
+
+    def test_with_policy_drops_the_vector(self):
+        fluid = LSMTuning(8.0, 4.0, Policy.FLUID, k_bounds=(4.0, 2.0))
+        assert fluid.with_policy("tiering").k_bounds is None
+
+    def test_describe_shows_the_vector(self):
+        text = LSMTuning(8.0, 4.0, Policy.FLUID, k_bounds=(4.0, 2.0, 1.0)).describe()
+        assert "K: [4,2,1]" in text and "Z: 1" in text
+
+    def test_vector_tunings_are_hashable(self):
+        a = LSMTuning(8.0, 4.0, Policy.FLUID, k_bounds=(4.0, 2.0))
+        b = LSMTuning(8.0, 4.0, Policy.FLUID, k_bounds=(4.0, 2.0))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestRoundedAtTheSmallestRatio:
+    """Regression: the ``[1, T - 1]`` clamp at ``T = 2``, where the cap is 1.
+
+    Built-in ``round`` sends the midpoint ``T = 2.5`` *down* to 2 (half to
+    even), so the deployable bound range collapsed to the single point 1 and
+    crushed every fluid bound the optimiser chose — a ``K = 1.5`` that
+    legitimately deploys as ``(T = 3, K = 2)`` came out as ``(T = 2, K = 1)``.
+    Half-up rounding keeps the documented "round up at the midpoint"
+    behaviour and the clamp consistent.
+    """
+
+    def test_midpoint_ratio_rounds_up_not_to_the_collapsed_cap(self):
+        rounded = LSMTuning(2.5, 3.0, Policy.FLUID, k_bound=1.5, z_bound=1.5).rounded()
+        assert rounded.size_ratio == 3.0
+        assert rounded.k_bound == 2.0
+        assert rounded.z_bound == 2.0
+
+    def test_at_exactly_t2_every_bound_clamps_to_one(self):
+        rounded = LSMTuning(2.0, 3.0, Policy.FLUID, k_bound=7.0, z_bound=3.0).rounded()
+        assert rounded.size_ratio == 2.0
+        assert (rounded.k_bound, rounded.z_bound) == (1.0, 1.0)
+
+    def test_t2_clamp_is_vector_aware(self):
+        rounded = LSMTuning(
+            2.2, 3.0, Policy.FLUID, k_bounds=(8.0, 2.0, 1.0), z_bound=4.0
+        ).rounded()
+        assert rounded.size_ratio == 2.0
+        assert rounded.k_bounds == (1.0, 1.0, 1.0)
+        assert rounded.z_bound == 1.0
+
+    def test_rounded_vector_stays_valid_through_reconstruction(self):
+        rounded = LSMTuning(2.5, 3.0, Policy.FLUID, k_bounds=(1.5, 1.5)).rounded()
+        assert rounded.size_ratio == 3.0
+        assert rounded.k_bounds == (2.0, 2.0)
+        # replace() re-runs validation; the clamped copy must satisfy it.
+        assert LSMTuning.from_dict(rounded.to_dict()) == rounded
+
+
+#: Strategy for one fluid run bound in the deployable range.
+_bounds = st.floats(min_value=1.0, max_value=64.0, allow_nan=False)
+
+
+class TestSerialisationProperty:
+    """Exhaustive to_dict/from_dict round-trip: all policies × scalar and
+    vector bounds.  The online subsystem ships tunings through JSON (retuning
+    decisions, events); drift there is caught here, at the tuning layer."""
+
+    @given(
+        policy=st.sampled_from(ALL_POLICIES),
+        size_ratio=st.floats(min_value=2.0, max_value=100.0, allow_nan=False),
+        bits=st.floats(min_value=0.0, max_value=16.0, allow_nan=False),
+        k_bound=st.one_of(st.none(), _bounds),
+        z_bound=st.one_of(st.none(), _bounds),
+        k_vector=st.one_of(
+            st.none(), st.lists(_bounds, min_size=1, max_size=6).map(tuple)
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_is_lossless(
+        self, policy, size_ratio, bits, k_bound, z_bound, k_vector
+    ):
+        tuning = LSMTuning(
+            size_ratio=size_ratio,
+            bits_per_entry=bits,
+            policy=policy,
+            k_bound=k_bound,
+            z_bound=z_bound,
+            k_bounds=k_vector,
+        )
+        restored = LSMTuning.from_dict(tuning.to_dict())
+        assert restored == tuning
+        # And the serialised form itself is stable (no normalisation drift).
+        assert restored.to_dict() == tuning.to_dict()
+
+    @given(
+        size_ratio=st.floats(min_value=2.0, max_value=100.0, allow_nan=False),
+        k_vector=st.lists(_bounds, min_size=1, max_size=6).map(tuple),
+        z_bound=_bounds,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_rounded_vectors_survive_the_round_trip(
+        self, size_ratio, k_vector, z_bound
+    ):
+        tuning = LSMTuning(
+            size_ratio, 4.0, Policy.FLUID, k_bounds=k_vector, z_bound=z_bound
+        ).rounded()
+        cap = tuning.size_ratio - 1.0
+        assert all(1.0 <= bound <= max(cap, 1.0) for bound in tuning.k_bounds)
+        assert LSMTuning.from_dict(tuning.to_dict()) == tuning

@@ -1,0 +1,93 @@
+"""Vector tunings through the online subsystem.
+
+The online stack serialises tunings at two seams — the retuning decision
+(JSON events) and the migration target — so per-level ``k_bounds`` vectors
+must survive both.  The heavyweight migration invariants for vector targets
+live in ``tests/test_migration_properties.py``; here the re-tuner and
+config threading are pinned.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.lsm import LSMTuning, Policy, PolicySpec, simulator_system
+from repro.online import AdaptiveTuner, OnlineConfig, OnlineLSMController
+from repro.storage import LSMTree
+from repro.workloads import KeySpace, Workload
+
+_SYSTEM = simulator_system(num_entries=3_000)
+
+
+class TestAdaptiveTunerVectors:
+    def test_k_vector_search_threads_to_the_tuners(self):
+        tuner = AdaptiveTuner(
+            system=_SYSTEM,
+            mode="robust",
+            policies=(Policy.FLUID,),
+            k_vector_search=True,
+        )
+        assert tuner.tuner.k_vector_search
+        # A widened-radius re-tuner keeps the flag too.
+        assert tuner._tuner_for(1.5).k_vector_search
+
+    def test_pinned_vector_policy_proposes_a_vector_tuning(self):
+        spec = PolicySpec(Policy.FLUID, k_bounds=(4.0, 2.0, 1.0), z_bound=1.0)
+        tuner = AdaptiveTuner(
+            system=_SYSTEM, mode="nominal", policies=(spec,), polish=False
+        )
+        observed = Workload(0.05, 0.25, 0.05, 0.65)
+        current = LSMTuning(10.0, 8.0, Policy.LEVELING)
+        decision = tuner.retune(observed, current, resident_pages=1_000)
+        assert decision.proposed.policy is Policy.FLUID
+        assert decision.proposed.k_bounds is not None
+        # Deployable: rounded() already applied by retune.
+        cap = decision.proposed.size_ratio - 1.0
+        assert all(1.0 <= b <= max(cap, 1.0) for b in decision.proposed.k_bounds)
+
+    def test_decision_with_vector_proposal_is_json_serialisable(self):
+        spec = PolicySpec(Policy.FLUID, k_bounds=(4.0, 2.0, 1.0), z_bound=1.0)
+        tuner = AdaptiveTuner(
+            system=_SYSTEM, mode="nominal", policies=(spec,), polish=False
+        )
+        decision = tuner.retune(
+            Workload(0.05, 0.25, 0.05, 0.65),
+            LSMTuning(10.0, 8.0, Policy.LEVELING),
+            resident_pages=1_000,
+        )
+        payload = json.loads(json.dumps(decision.to_dict()))
+        restored = LSMTuning.from_dict(payload["proposed"])
+        assert restored == decision.proposed
+
+
+class TestControllerThreading:
+    def test_online_config_threads_the_flag(self):
+        tree = LSMTree(LSMTuning(10.0, 8.0, Policy.LEVELING), _SYSTEM, seed=5)
+        controller = OnlineLSMController(
+            tree=tree,
+            expected=Workload(0.25, 0.25, 0.25, 0.25),
+            config=OnlineConfig(k_vector_search=True),
+            policies=(Policy.FLUID,),
+        )
+        assert controller.retuner.k_vector_search
+
+    def test_full_migration_deploys_a_vector_tuning(self):
+        """An in-place rebuild towards a vector tuning leaves the live tree
+        under the vector bounds, still serving reads."""
+        keys = KeySpace.build(_SYSTEM.num_entries, seed=11).existing
+        tree = LSMTree(LSMTuning(10.0, 8.0, Policy.LEVELING), _SYSTEM, seed=5)
+        tree.bulk_load(keys)
+        controller = OnlineLSMController(
+            tree=tree,
+            expected=Workload(0.25, 0.25, 0.25, 0.25),
+        )
+        target = LSMTuning(
+            5.0, 6.0, Policy.FLUID, k_bounds=(4.0, 2.0, 1.0), z_bound=1.0
+        )
+        read_pages, write_pages = controller._migrate(target)
+        assert read_pages > 0 and write_pages > 0
+        assert controller.tree.tuning.k_bounds == (4.0, 2.0, 1.0)
+        probes = np.random.default_rng(7).choice(keys, size=50, replace=False)
+        assert all(controller.tree.get(int(key)) for key in probes)

@@ -122,6 +122,140 @@ def _run_main(capsys, argv):
     return capsys.readouterr().out
 
 
+#: A tune invocation whose solved tuning has 6 levels (5 upper levels), so
+#: a pinned 5-element vector is the matching length.
+_KBOUNDS_TUNE_ARGS = [
+    "tune", "--workload", "0.1", "0.3", "0.1", "0.5",
+    "--rho", "0", "--policy", "fluid", "--num-entries", "100000",
+]
+
+
+class TestKBoundsFlag:
+    """--k-bounds parsing and validation: every malformation dies at the
+    parser with a usage error, matching the validated-knob convention."""
+
+    def test_pinned_vector_round_trips_to_json(self, capsys):
+        out = _run_main(
+            capsys, _KBOUNDS_TUNE_ARGS + ["--k-bounds", "4,2,1,1,1"]
+        )
+        payload = json.loads(out)
+        assert payload["nominal"]["policy"] == "fluid"
+        assert payload["nominal"]["k_bounds"] == [4.0, 2.0, 1.0, 1.0, 1.0]
+        assert payload["nominal"]["z_bound"] == 1.0
+        assert "k_bound" not in payload["nominal"]
+
+    def test_pinned_vector_with_z_bound(self, capsys):
+        # Z = 2 shifts the solved (T, h) to a 7-level tuning, so the pinned
+        # vector needs 6 upper-level bounds here.
+        out = _run_main(
+            capsys,
+            _KBOUNDS_TUNE_ARGS + ["--k-bounds", "4,2,1,1,1,1", "--z-bound", "2"],
+        )
+        assert json.loads(out)["nominal"]["z_bound"] == 2.0
+
+    def test_rejects_empty_value(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(_KBOUNDS_TUNE_ARGS + ["--k-bounds", ""])
+        assert excinfo.value.code == 2
+        assert "empty value" in capsys.readouterr().err
+
+    def test_rejects_empty_entry(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(_KBOUNDS_TUNE_ARGS + ["--k-bounds", "4,,1"])
+        assert excinfo.value.code == 2
+        assert "empty entry" in capsys.readouterr().err
+
+    def test_rejects_non_numeric_entries(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(_KBOUNDS_TUNE_ARGS + ["--k-bounds", "4,two,1"])
+        assert excinfo.value.code == 2
+        assert "expected a number" in capsys.readouterr().err
+
+    def test_rejects_bounds_below_one(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(_KBOUNDS_TUNE_ARGS + ["--k-bounds", "4,0.5,1"])
+        assert excinfo.value.code == 2
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_rejects_wrong_length_for_the_solved_level_count(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(_KBOUNDS_TUNE_ARGS + ["--k-bounds", "4,2,1"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "3 per-level bounds" in err
+        assert "6 levels" in err
+
+    def test_rejects_k_bounds_without_fluid_policy(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["tune", "--workload", "0.25", "0.25", "0.25", "0.25",
+                 "--rho", "0", "--k-bounds", "4,2,1"]
+            )
+        assert excinfo.value.code == 2
+        assert "--policy fluid" in capsys.readouterr().err
+
+    def test_rejects_k_bounds_combined_with_k_vector_search(self, capsys):
+        """A pinned vector and an automatic vector search contradict each
+        other (the search would rewrite the pin); the CLI refuses both."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                _KBOUNDS_TUNE_ARGS
+                + ["--k-bounds", "4,2,1,1,1", "--k-vector-search"]
+            )
+        assert excinfo.value.code == 2
+        assert "--k-vector-search" in capsys.readouterr().err
+
+    def test_rejects_wrong_length_for_the_robust_solve(self, capsys):
+        """The robust tuner may solve a different level count than the
+        nominal one; a pinned vector must match both deployments.  This
+        vector matches the 7-level nominal solve but the robust solve lands
+        on 6 levels."""
+        argv = [
+            "tune", "--workload", "0.1", "0.3", "0.1", "0.5",
+            "--rho", "0.25", "--policy", "fluid", "--num-entries", "100000",
+            "--k-bounds", "4,4,1,1,1,1",
+        ]
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "robust tuning" in capsys.readouterr().err
+
+    def test_rejects_z_bound_without_k_bounds(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(_KBOUNDS_TUNE_ARGS + ["--z-bound", "2"])
+        assert excinfo.value.code == 2
+        assert "--z-bound" in capsys.readouterr().err
+
+    def test_rejects_sub_unit_z_bound(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                _KBOUNDS_TUNE_ARGS + ["--k-bounds", "4,2", "--z-bound", "0"]
+            )
+        assert excinfo.value.code == 2
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_k_vector_search_flag_tunes_a_vector(self, capsys):
+        out = _run_main(
+            capsys,
+            ["tune", "--workload", "0.05", "0.25", "0.05", "0.65",
+             "--rho", "0", "--policy", "fluid",
+             "--long-range-fraction", "0.3", "--k-vector-search",
+             "--seed", "7"],
+        )
+        payload = json.loads(out)
+        assert payload["nominal"]["policy"] == "fluid"
+        # The vector search surfaced a per-level (non-uniform) ladder here.
+        assert "k_bounds" in payload["nominal"]
+
+    def test_k_vector_search_same_seed_is_byte_identical(self, capsys):
+        argv = [
+            "tune", "--workload", "0.05", "0.25", "0.05", "0.65",
+            "--rho", "0.25", "--policy", "fluid",
+            "--long-range-fraction", "0.3", "--k-vector-search", "--seed", "7",
+        ]
+        assert _run_main(capsys, argv) == _run_main(capsys, argv)
+
+
 #: Tiny, fast settings shared by the online-command tests.
 _ONLINE_SMOKE_ARGS = [
     "online",

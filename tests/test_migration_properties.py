@@ -42,6 +42,12 @@ _TUNING_PAIRS = [
         LSMTuning(12.0, 8.0, Policy.LEVELING),
         LSMTuning(6.0, 7.0, Policy.LAZY_LEVELING),
     ),
+    # Vector-bound target: migrating onto a per-level K_i ladder must hold
+    # the same I/O-parity and byte-identity invariants as any scalar target.
+    (
+        LSMTuning(10.0, 8.0, Policy.LEVELING),
+        LSMTuning(5.0, 6.0, Policy.FLUID, k_bounds=(4.0, 2.0, 1.0), z_bound=1.0),
+    ),
 ]
 
 
@@ -248,6 +254,41 @@ class TestInterruptibility:
         )
         assert copies_in_runs == 0, "stale checkpoint copy must be dropped"
         assert plan.target.get(dirty)  # the mid-migration write survives
+
+    def test_interrupted_vector_target_plan_serves_and_resumes(self):
+        """The mixed state and resumability hold when the *target* carries a
+        per-level K_i vector: reads, writes and deletes served mid-flight,
+        then byte-identity against a fresh bulk load on completion."""
+        target_tuning = LSMTuning(
+            5.0, 6.0, Policy.FLUID, k_bounds=(4.0, 2.0, 1.0), z_bound=1.0
+        )
+        source = _loaded_tree(LSMTuning(10.0, 8.0, Policy.LEVELING))
+        plan, checkpoint = _plan(source, target_tuning, 8)
+        reference = self._reference(checkpoint)
+
+        for _ in range(plan.num_steps // 2):
+            plan.run_next_step()
+        assert not plan.completed
+
+        rng = np.random.default_rng(13)
+        for key in rng.choice(checkpoint, size=30, replace=False):
+            plan.delete(int(key))
+            reference[int(key)] = False
+        fresh_keys = [int(2 * _SYSTEM.num_entries + i) for i in range(20)]
+        for key in fresh_keys:
+            plan.put(key)
+            reference[key] = True
+        probes = list(rng.choice(checkpoint, size=60, replace=False)) + fresh_keys
+        for key in probes:
+            assert plan.get(int(key)) == reference[int(key)], f"key {key}"
+
+        plan.run_to_completion()
+        migrated = plan.target
+        for key in probes:
+            assert migrated.get(int(key)) == reference[int(key)], f"key {key}"
+        # The deployed tuning is the vector tuning, serialisable as such.
+        assert migrated.tuning.k_bounds == (4.0, 2.0, 1.0)
+        assert LSMTuning.from_dict(migrated.tuning.to_dict()) == migrated.tuning
 
     def test_empty_checkpoint_plan_still_finalises(self):
         """A tree whose live key set was deleted away migrates through a

@@ -52,12 +52,26 @@ _FLUID_BOUNDS: tuple[tuple[float, float], ...] = (
     (64.0, 1.0),
 )
 
+#: Per-level K_i vectors exercised alongside the scalar bounds: front-loaded
+#: ladders, a single-level bump, and a vector that clamps at small T.
+_FLUID_VECTORS: tuple[tuple[tuple[float, ...], float], ...] = (
+    ((4.0, 2.0, 1.0), 1.0),
+    ((2.0, 2.0, 1.0, 1.0), 2.0),
+    ((1.0, 8.0, 1.0), 1.0),
+    ((64.0, 16.0, 4.0, 1.0), 4.0),
+)
+
 #: Every policy spec the suite sweeps: one spec per registered policy (the
 #: fluid entry carrying its default bounds) plus the parameterised fluid
-#: variants above.
-_ALL_SPECS: tuple[PolicySpec, ...] = tuple(
-    PolicySpec(policy) for policy in ALL_POLICIES
-) + tuple(PolicySpec(Policy.FLUID, k_bound=k, z_bound=z) for k, z in _FLUID_BOUNDS)
+#: variants above — scalar (K, Z) pairs and per-level K_i vectors.
+_ALL_SPECS: tuple[PolicySpec, ...] = (
+    tuple(PolicySpec(policy) for policy in ALL_POLICIES)
+    + tuple(PolicySpec(Policy.FLUID, k_bound=k, z_bound=z) for k, z in _FLUID_BOUNDS)
+    + tuple(
+        PolicySpec(Policy.FLUID, k_bounds=vector, z_bound=z)
+        for vector, z in _FLUID_VECTORS
+    )
+)
 
 
 def _spec_ids(spec: PolicySpec) -> str:
@@ -71,6 +85,7 @@ def _tuning_of(spec: PolicySpec, size_ratio: float, bits: float) -> LSMTuning:
         policy=spec.policy,
         k_bound=spec.k_bound,
         z_bound=spec.z_bound,
+        k_bounds=spec.k_bounds,
     )
 
 
@@ -279,3 +294,218 @@ class TestTunerConsistencyAcrossPolicies:
             ).tune(workload).objective
         for corner in (Policy.LEVELING, Policy.TIERING, Policy.LAZY_LEVELING):
             assert costs[Policy.FLUID] <= costs[corner] + 1e-9
+
+    @pytest.mark.parametrize("index", range(len(workloads)))
+    def test_vector_search_dominates_the_uniform_sweep(self, index):
+        """The K_i vector family contains every uniform (K, Z) design, so
+        the vector-search optimum can never lose to the scalar sweep."""
+        workload = self.workloads[index]
+        cands = np.arange(2.0, 13.0)
+        uniform = NominalTuner(
+            system=_SYSTEM,
+            policies=(Policy.FLUID,),
+            ratio_candidates=cands,
+            polish=False,
+        ).tune(workload).objective
+        vector = NominalTuner(
+            system=_SYSTEM,
+            policies=(Policy.FLUID,),
+            ratio_candidates=cands,
+            polish=False,
+            k_vector_search=True,
+        ).tune(workload).objective
+        assert vector <= uniform + 1e-12
+
+
+#: Scalar fluid (K, Z) corner pairs whose uniform-vector twins must behave
+#: identically: the classical corners plus interior and clamping points.
+_CORNER_PAIRS: tuple[tuple[float, float], ...] = (
+    (1.0, 1.0),  # leveling
+    (2.0, 1.0),
+    (3.0, 2.0),
+    (7.0, 1.0),  # lazy leveling at T = 8
+    (7.0, 7.0),  # tiering at T = 8
+    (64.0, 4.0),  # clamps everywhere on the grid
+)
+
+
+class TestUniformVectorCornerRecovery:
+    """Exact-corner acceptance: uniform K_i vectors reproduce every scalar
+    fluid tuning — and through them leveling / tiering / lazy leveling — to
+    1e-12 in ``cost_matrix`` and *bit-identically* in the simulator
+    (bulk-load bytes and Bloom filter bits)."""
+
+    @pytest.mark.parametrize("k,z", _CORNER_PAIRS)
+    @pytest.mark.parametrize("nu", [0.0, 0.35])
+    def test_uniform_vector_cost_matrix_matches_scalar_to_1e12(self, k, z, nu):
+        scalar = PolicySpec(Policy.FLUID, k_bound=k, z_bound=z)
+        vector = PolicySpec(Policy.FLUID, k_bounds=(k,) * 6, z_bound=z)
+        np.testing.assert_allclose(
+            _MODEL.cost_matrix(_RATIOS, _BITS, vector, long_range_fraction=nu),
+            _MODEL.cost_matrix(_RATIOS, _BITS, scalar, long_range_fraction=nu),
+            rtol=0.0,
+            atol=1e-12,
+        )
+
+    @pytest.mark.parametrize(
+        "vector_tuning,classical",
+        [
+            (
+                LSMTuning(8.0, 5.0, Policy.FLUID, k_bounds=(1.0,) * 5, z_bound=1.0),
+                LSMTuning(8.0, 5.0, Policy.LEVELING),
+            ),
+            (
+                LSMTuning(8.0, 5.0, Policy.FLUID, k_bounds=(7.0,) * 5, z_bound=7.0),
+                LSMTuning(8.0, 5.0, Policy.TIERING),
+            ),
+            (
+                LSMTuning(8.0, 5.0, Policy.FLUID, k_bounds=(7.0,) * 5, z_bound=1.0),
+                LSMTuning(8.0, 5.0, Policy.LAZY_LEVELING),
+            ),
+        ],
+        ids=["leveling", "tiering", "lazy-leveling"],
+    )
+    @pytest.mark.parametrize("nu", [0.0, 1.0])
+    def test_uniform_vectors_recover_the_classical_policies(
+        self, vector_tuning, classical, nu
+    ):
+        np.testing.assert_allclose(
+            _MODEL.cost_vector(vector_tuning, nu),
+            _MODEL.cost_vector(classical, nu),
+            rtol=0.0,
+            atol=1e-12,
+        )
+
+    @pytest.mark.parametrize("k,z", _CORNER_PAIRS)
+    def test_simulator_bulk_load_is_bit_identical(self, k, z):
+        """Same seed, scalar vs uniform-vector tuning: identical run keys,
+        identical page counts, identical Bloom filter bits."""
+        from repro.lsm import simulator_system
+        from repro.storage import LSMTree
+        from repro.workloads import KeySpace
+
+        system = simulator_system(num_entries=2_000)
+        keys = KeySpace.build(system.num_entries, seed=11).existing
+
+        def load(tuning: LSMTuning) -> LSMTree:
+            tree = LSMTree(tuning, system, seed=5)
+            tree.bulk_load(keys)
+            return tree
+
+        scalar = load(LSMTuning(6.0, 6.0, Policy.FLUID, k_bound=k, z_bound=z))
+        vector = load(
+            LSMTuning(6.0, 6.0, Policy.FLUID, k_bounds=(k,) * 6, z_bound=z)
+        )
+        assert len(scalar.levels) == len(vector.levels)
+        for got, want in zip(vector.levels, scalar.levels):
+            assert len(got) == len(want)
+            for got_run, want_run in zip(got, want):
+                assert np.array_equal(got_run.keys, want_run.keys)
+                assert got_run.num_pages == want_run.num_pages
+                assert got_run.bits_per_entry == want_run.bits_per_entry
+                assert np.array_equal(
+                    got_run.bloom_filter._bits, want_run.bloom_filter._bits
+                ), "Bloom assignments must be byte-identical"
+
+    @pytest.mark.parametrize("k,z", [(1.0, 1.0), (3.0, 2.0), (7.0, 7.0)])
+    def test_simulator_write_stream_is_bit_identical(self, k, z):
+        """Beyond the load: an identical write/read stream drives the scalar
+        and uniform-vector trees through identical compactions and I/O."""
+        from repro.lsm import simulator_system
+        from repro.storage import LSMTree
+        from repro.workloads import KeySpace
+
+        system = simulator_system(num_entries=2_000)
+        keys = KeySpace.build(system.num_entries, seed=11).existing
+
+        def run(tuning: LSMTuning):
+            tree = LSMTree(tuning, system, seed=5)
+            tree.bulk_load(keys)
+            tree.disk.reset()
+            rng = np.random.default_rng(3)
+            for key in rng.integers(0, 2 * system.num_entries, size=2_000):
+                tree.put(int(key))
+            counters = tree.disk.snapshot()
+            shape = [
+                (np.asarray(r.keys).tobytes(), r.num_pages)
+                for runs in tree.levels
+                for r in runs
+            ]
+            return counters, shape
+
+        scalar = run(LSMTuning(6.0, 6.0, Policy.FLUID, k_bound=k, z_bound=z))
+        vector = run(
+            LSMTuning(6.0, 6.0, Policy.FLUID, k_bounds=(k,) * 6, z_bound=z)
+        )
+        assert scalar == vector
+
+
+class TestNonUniformVectorBehaviour:
+    """Non-uniform vectors genuinely change per-level behaviour — this is
+    what the refactor buys, so pin it from both sides."""
+
+    def test_front_loaded_ladder_sits_between_its_uniform_envelopes(self):
+        """A ladder's write cost lies between the uniform vectors of its
+        smallest and largest bound; its read costs likewise."""
+        ladder = LSMTuning(8.0, 5.0, Policy.FLUID, k_bounds=(4.0, 2.0, 1.0))
+        low = LSMTuning(8.0, 5.0, Policy.FLUID, k_bound=1.0)
+        high = LSMTuning(8.0, 5.0, Policy.FLUID, k_bound=4.0)
+        for component in range(4):
+            lo = min(
+                _MODEL.cost_vector(low, 0.5)[component],
+                _MODEL.cost_vector(high, 0.5)[component],
+            )
+            hi = max(
+                _MODEL.cost_vector(low, 0.5)[component],
+                _MODEL.cost_vector(high, 0.5)[component],
+            )
+            value = _MODEL.cost_vector(ladder, 0.5)[component]
+            assert lo - 1e-12 <= value <= hi + 1e-12
+
+    def test_simulator_honours_per_level_triggers(self):
+        from repro.lsm import simulator_system
+        from repro.storage import LSMTree
+        from repro.workloads import KeySpace
+
+        system = simulator_system(num_entries=3_000)
+        keys = KeySpace.build(system.num_entries, seed=11).existing
+        tuning = LSMTuning(
+            5.0, 6.0, Policy.FLUID, k_bounds=(4.0, 2.0, 1.0), z_bound=1.0
+        )
+        tree = LSMTree(tuning, system, seed=5)
+        tree.bulk_load(keys)
+        rng = np.random.default_rng(3)
+        for key in rng.integers(0, 2 * system.num_entries, size=4_000):
+            tree.put(int(key))
+        stats = tree.stats()
+        caps = [
+            tree.strategy.max_resident_runs(
+                tree.size_ratio, level, stats.num_levels
+            )
+            for level in range(1, stats.num_levels + 1)
+        ]
+        assert all(
+            runs <= cap for runs, cap in zip(stats.runs_per_level, caps)
+        ), (stats.runs_per_level, caps)
+        # The per-level caps genuinely differ (this is not a uniform tree).
+        assert len(set(caps[:-1])) > 1
+
+    def test_bulk_load_splits_runs_per_level(self):
+        from repro.lsm import simulator_system
+        from repro.storage import LSMTree
+        from repro.workloads import KeySpace
+
+        system = simulator_system(num_entries=3_000)
+        keys = KeySpace.build(system.num_entries, seed=11).existing
+        tuning = LSMTuning(
+            4.0, 6.0, Policy.FLUID, k_bounds=(3.0, 1.0), z_bound=1.0
+        )
+        tree = LSMTree(tuning, system, seed=5)
+        tree.bulk_load(keys)
+        stats = tree.stats()
+        last = stats.num_levels
+        for level, runs in enumerate(stats.runs_per_level, start=1):
+            cap = tree.strategy.max_resident_runs(tree.size_ratio, level, last)
+            assert runs <= cap, (level, runs, cap)
+        # Level 2 onwards is leveled (bound 1): a single run each.
+        assert all(runs <= 1 for runs in stats.runs_per_level[1:])

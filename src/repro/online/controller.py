@@ -40,7 +40,7 @@ from ..core.uncertainty import UncertaintyRegion
 from ..lsm.policy import CLASSIC_POLICIES, Policy, PolicySpec
 from ..lsm.system import SystemConfig
 from ..lsm.tuning import LSMTuning
-from ..storage.lsm_tree import LSMTree
+from ..storage.lsm_tree import POINT_READ_KINDS, SCALAR_SPAN_CUTOFF, LSMTree
 from ..storage.run import SortedRun
 from ..workloads.traces import Operation
 from ..workloads.workload import Workload
@@ -297,6 +297,77 @@ class OnlineLSMController:
         """Execute a stream of operations through the adaptive loop."""
         for operation in operations:
             self.apply(operation)
+
+    def _ops_until_boundary(self) -> int:
+        """Operations until the next adaptive-loop boundary (at least 1).
+
+        While a migration plan is in flight the boundary is its next step
+        (``migration_step_ops`` past the plan's start phase); otherwise it is
+        the next drift check (``check_interval``).  A batched GET span must
+        not cross either: the drift detector and the plan have to observe the
+        stream at exactly the per-operation granularity of :meth:`apply`.
+        """
+        if self._plan is not None:
+            interval = self.config.migration_step_ops
+            elapsed = (self.position - self._plan_started) % interval
+        else:
+            interval = self.config.check_interval
+            elapsed = self.position % interval
+        return interval - elapsed
+
+    def _after_batch(self) -> None:
+        """Run the boundary work :meth:`apply` would have run, if due."""
+        if self._plan is not None:
+            if (self.position - self._plan_started) % self.config.migration_step_ops == 0:
+                self.advance_migration()
+        elif self.position % self.config.check_interval == 0:
+            self.maybe_retune()
+
+    def execute_batched(
+        self, operations: Sequence[Operation], max_batch_ops: int = 4_096
+    ) -> None:
+        """Execute a stream through the adaptive loop, batching GET spans.
+
+        Write-free spans of point reads run through the engine's vectorised
+        ``get_many`` — the live tree's, or the mixed migration state's while
+        a plan is in flight.  Batches are additionally bounded by the next
+        adaptive-loop boundary (drift check or migration step), so the
+        detector fires at the same stream positions, migrations start and
+        advance at the same operations, and the estimator folds in the same
+        operation sequence as the scalar :meth:`execute` — the measured
+        stream is bit-identical, just cheaper to replay.
+        """
+        if max_batch_ops <= 0:
+            raise ValueError("max_batch_ops must be positive")
+        operations = (
+            operations if isinstance(operations, list) else list(operations)
+        )
+        index = 0
+        total = len(operations)
+        while index < total:
+            operation = operations[index]
+            if operation.kind not in POINT_READ_KINDS:
+                self.apply(operation)
+                index += 1
+                continue
+            stop = min(index + min(self._ops_until_boundary(), max_batch_ops), total)
+            end = index
+            while end < stop and operations[end].kind in POINT_READ_KINDS:
+                end += 1
+            span = operations[index:end]
+            engine = self._plan if self._plan is not None else self.tree
+            if len(span) < SCALAR_SPAN_CUTOFF:
+                for op in span:
+                    engine.get(op.key)
+            else:
+                engine.get_many(
+                    np.fromiter((op.key for op in span), dtype=np.int64, count=len(span))
+                )
+            for op in span:
+                self.estimator.record_kind(op.kind)
+            self.position += len(span)
+            index = end
+            self._after_batch()
 
     # ------------------------------------------------------------------
     # Adaptive loop

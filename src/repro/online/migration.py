@@ -342,6 +342,22 @@ class MigrationPlan:
             return not tombstone
         return self.source.get(key)
 
+    def get_many(self, keys: np.ndarray) -> np.ndarray:
+        """Batched point lookups across the mixed state; per-key live masks.
+
+        The vectorised twin of :meth:`get`: the whole batch probes the target
+        first, and only the keys the target has never seen (no live version,
+        no tombstone) fall through to the frozen source snapshot — each side
+        charging exactly the pages the per-key scalar path would have.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        found, tombstone = self.target.lookup_entries(keys)
+        live = found & ~tombstone
+        unresolved = ~found
+        if unresolved.any():
+            live[unresolved] = self.source.get_many(keys[unresolved])
+        return live
+
     def range_query(self, start_key: int, end_key: int) -> int:
         """Range lookup across the mixed state; counts live keys once.
 

@@ -64,6 +64,11 @@ class BloomFilter:
         self.num_hashes = optimal_hash_count(bits_per_entry)
         self._bits = np.zeros((self.num_bits + 7) // 8, dtype=np.uint8)
         self._count = 0
+        # Probe-offset column vector and modulus, precomputed so the batched
+        # membership test runs a fixed number of array ops per call instead
+        # of a Python loop over hash functions.
+        self._probe_offsets = np.arange(self.num_hashes, dtype=np.uint64).reshape(-1, 1)
+        self._num_bits_u64 = np.uint64(self.num_bits)
 
     # ------------------------------------------------------------------
     # Construction
@@ -102,6 +107,28 @@ class BloomFilter:
             if not (byte >> (position % 8)) & 1:
                 return False
         return True
+
+    def might_contain_many(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`might_contain` over a key array.
+
+        One hash pass over the whole batch per hash function; the probe
+        positions are exactly the scalar path's (64-bit wrap-around included),
+        so each answer is bit-identical to ``might_contain`` on that key.
+        """
+        keys = np.asarray(keys)
+        if keys.size == 0:
+            return np.empty(0, dtype=bool)
+        if self._degenerate:
+            return np.ones(keys.size, dtype=bool)
+        h1, h2 = _hash_pair(keys, self.seed)
+        # One (num_hashes, n) pass: uint64 arithmetic wraps mod 2^64 exactly
+        # like the scalar path's explicit mask, so every probe position is
+        # the one might_contain would compute.
+        positions = (h1 + self._probe_offsets * h2) % self._num_bits_u64
+        bytes_idx = (positions >> np.uint64(3)).astype(np.int64)
+        bit_idx = (positions & np.uint64(7)).astype(np.uint8)
+        probed = (self._bits[bytes_idx] >> bit_idx) & np.uint8(1)
+        return probed.all(axis=0)
 
     def __contains__(self, key: int) -> bool:
         return self.might_contain(int(key))

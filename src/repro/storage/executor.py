@@ -23,7 +23,7 @@ from ..workloads.sessions import Session, SessionSequence
 from ..workloads.traces import KeySpace, Operation, TraceGenerator
 from ..workloads.workload import Workload
 from .disk import VirtualDisk
-from .lsm_tree import LSMTree
+from .lsm_tree import LSMTree, execute_operations_batched
 
 
 @dataclass(frozen=True)
@@ -147,6 +147,16 @@ class ExecutorConfig:
     write_latency_us: float = 100.0
     #: Seed controlling trace generation.
     seed: int = 97
+    #: Whether trace replay routes write-free GET spans through the batched
+    #: ``get_many`` read path (bit-identical I/O accounting; disable to fall
+    #: back to the per-operation scalar loop, e.g. for a parity check).
+    batch_execution: bool = True
+    #: Upper bound on the keys of one batched GET span.
+    max_batch_ops: int = 4_096
+
+    def __post_init__(self) -> None:
+        if self.max_batch_ops <= 0:
+            raise ValueError("max_batch_ops must be positive")
 
 
 class WorkloadExecutor:
@@ -183,8 +193,13 @@ class WorkloadExecutor:
     def _execute_operations(
         self, tree: LSMTree, operations: list[Operation]
     ) -> None:
-        for op in operations:
-            tree.apply(op)
+        if self.config.batch_execution:
+            execute_operations_batched(
+                tree, operations, max_batch_ops=self.config.max_batch_ops
+            )
+        else:
+            for op in operations:
+                tree.apply(op)
 
     def _measure_session(
         self,
@@ -322,9 +337,16 @@ class WorkloadExecutor:
             config=online if online is not None else OnlineConfig(),
             policies=policies,
         )
+        if self.config.batch_execution:
+            def execute(operations):
+                controller.execute_batched(
+                    operations, max_batch_ops=self.config.max_batch_ops
+                )
+        else:
+            execute = controller.execute
         trace = self.trace_generator()
         measurements = tuple(
-            self._measure_session(controller.disk, controller.execute, session, trace)
+            self._measure_session(controller.disk, execute, session, trace)
             for session in sequence
         )
         # A migration plan still in flight at stream end is drained now, as

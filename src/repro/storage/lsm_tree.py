@@ -70,6 +70,65 @@ def execute_operation(engine, operation: Operation) -> None:
         engine.get(operation.key)
 
 
+#: Operation kinds a batched GET span may absorb (both point-read flavours).
+POINT_READ_KINDS = frozenset((OperationType.GET, OperationType.EMPTY_GET))
+
+#: GET spans shorter than this run through the scalar path: per-batch array
+#: overhead beats per-key dict/filter probes only once a span has some width,
+#: and the two paths are bit-identical either way.
+SCALAR_SPAN_CUTOFF = 8
+
+
+def drain_get_span(engine, span_keys: list[int]) -> None:
+    """Execute one write-free GET span and empty it.
+
+    Spans below :data:`SCALAR_SPAN_CUTOFF` replay through the engine's scalar
+    ``get`` (cheaper than spinning up array ops for a handful of keys);
+    longer spans go through the vectorised ``get_many``.  Both produce
+    identical disk counters, so the cutoff is purely a wall-clock knob.
+    """
+    if len(span_keys) < SCALAR_SPAN_CUTOFF:
+        for key in span_keys:
+            engine.get(key)
+    else:
+        engine.get_many(np.asarray(span_keys, dtype=np.int64))
+    span_keys.clear()
+
+
+def execute_operations_batched(engine, operations, max_batch_ops: int = 4_096) -> None:
+    """Execute a span of trace operations, batching write-free GET runs.
+
+    The batched companion of :func:`execute_operation`: maximal spans of
+    consecutive point reads (capped at ``max_batch_ops``) are routed through
+    the engine's vectorised ``get_many``; a PUT or RANGE flushes the pending
+    span first and then runs through the scalar dispatch, since writes mutate
+    the tree structure (flushes, compactions) that subsequent reads must
+    observe.  ``engine`` is anything exposing ``get_many`` alongside the
+    scalar trio — the live :class:`LSMTree` and the online subsystem's mixed
+    migration state both qualify — and the disk counters, tree state and
+    query answers are bit-identical to replaying the span scalar.
+    """
+    if max_batch_ops <= 0:
+        raise ValueError("max_batch_ops must be positive")
+    # Identity checks against hoisted members: this loop runs once per trace
+    # operation, so even the frozenset's enum hashing shows up at 1M ops.
+    get_kind, empty_get_kind = OperationType.GET, OperationType.EMPTY_GET
+    pending: list[int] = []
+    append = pending.append
+    for operation in operations:
+        kind = operation.kind
+        if kind is get_kind or kind is empty_get_kind:
+            append(operation.key)
+            if len(pending) >= max_batch_ops:
+                drain_get_span(engine, pending)
+        else:
+            if pending:
+                drain_get_span(engine, pending)
+            execute_operation(engine, operation)
+    if pending:
+        drain_get_span(engine, pending)
+
+
 @dataclass(frozen=True)
 class BulkLoadPlan:
     """The placements a bulk load would install, computed without applying them.
@@ -251,6 +310,10 @@ class LSMTree:
         is_last_level = target_level >= len(self.levels) or not any(
             self.levels[target_level:]
         )
+        # Bump-then-use, exactly like _new_run: reading the counter before
+        # incrementing would reuse the Bloom hash seed of the most recently
+        # created run, correlating the two filters' false positives.
+        self._run_counter += 1
         merged = SortedRun.merge(
             runs,
             entries_per_page=self.entries_per_page,
@@ -258,7 +321,6 @@ class LSMTree:
             drop_tombstones=is_last_level and not self.preserve_tombstones,
             seed=self._seed + self._run_counter,
         )
-        self._run_counter += 1
         self.disk.write_pages(merged.num_pages, compaction=True)
         return merged
 
@@ -375,6 +437,48 @@ class LSMTree:
                 if found:
                     return True, tombstone
         return False, False
+
+    def get_many(self, keys: np.ndarray) -> np.ndarray:
+        """Batched point lookups; returns a per-key liveness mask.
+
+        The vectorised twin of :meth:`get`: the whole batch walks the levels
+        *once*, so a span of reads pays one Python-level pass over the runs
+        instead of one per key, while the disk sees exactly the page counts
+        the scalar loop would have charged.
+        """
+        found, tombstone = self.lookup_entries(keys)
+        return found & ~tombstone
+
+    def lookup_entries(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`lookup_entry`: per-key ``(found, is_tombstone)`` masks.
+
+        Probes the memtable first (no I/O), then every run from the smallest
+        to the largest level, newest run first within a level, carrying an
+        *unresolved* mask: a key stops probing deeper runs the moment a run
+        answers it — the scalar early-exit, applied per key.  Each probed run
+        charges the disk one ``read_pages`` call with the batch's total
+        candidate pages, which sums to exactly what per-key scalar probes
+        would have charged (page counts are per probe, not per unique page).
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return np.zeros(0, dtype=bool), np.zeros(0, dtype=bool)
+        found, tombstone = self.memtable.lookup_many(keys)
+        # Indices of keys no probe has answered yet; shrinks as runs hit.
+        pending = np.flatnonzero(~found)
+        for runs in self.levels:
+            for run in runs:
+                if pending.size == 0:
+                    return found, tombstone
+                run_found, run_tombstone, pages = run.lookup_many(keys[pending])
+                if pages:
+                    self.disk.read_pages(pages)
+                if run_found.any():
+                    hits = pending[run_found]
+                    found[hits] = True
+                    tombstone[hits] = run_tombstone[run_found]
+                    pending = pending[~run_found]
+        return found, tombstone
 
     def range_query(self, start_key: int, end_key: int) -> int:
         """Range lookup; returns the number of live keys in the interval.

@@ -45,6 +45,26 @@ class Memtable:
             return True, self._entries[key]
         return False, False
 
+    def lookup_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`get`: ``(present, is_tombstone)`` masks for ``keys``.
+
+        A plain dict probe per key: the buffer is a hash map, so a Python
+        loop beats sort-based vectorisation at the batch sizes the executor
+        produces, and memtable lookups charge no I/O either way.
+        """
+        found = np.zeros(keys.size, dtype=bool)
+        tombstone = np.zeros(keys.size, dtype=bool)
+        entries = self._entries
+        if entries:
+            probe = entries.get
+            for index, key in enumerate(keys.tolist()):
+                state = probe(key)
+                if state is not None:
+                    found[index] = True
+                    if state:
+                        tombstone[index] = True
+        return found, tombstone
+
     def scan(self, start_key: int, end_key: int) -> np.ndarray:
         """Live keys in ``[start_key, end_key]`` currently buffered."""
         keys, tombstones = self.scan_items(start_key, end_key)

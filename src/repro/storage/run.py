@@ -83,8 +83,13 @@ class SortedRun:
         # Fence pointers: smallest key of each page, kept in memory.
         if keys.size:
             self._fences = keys[:: entries_per_page].copy()
+            # Key bounds cached as plain ints: the lookup hot path compares
+            # against them on every probe.
+            self._min_key = int(keys[0])
+            self._max_key = int(keys[-1])
         else:
             self._fences = np.empty(0, dtype=np.int64)
+            self._min_key = self._max_key = 0
 
     # ------------------------------------------------------------------
     # Size / structure
@@ -109,14 +114,14 @@ class SortedRun:
         """Smallest key in the run (undefined for an empty run)."""
         if self._keys.size == 0:
             raise ValueError("empty run has no minimum key")
-        return int(self._keys[0])
+        return self._min_key
 
     @property
     def max_key(self) -> int:
         """Largest key in the run (undefined for an empty run)."""
         if self._keys.size == 0:
             raise ValueError("empty run has no maximum key")
-        return int(self._keys[-1])
+        return self._max_key
 
     @property
     def keys(self) -> np.ndarray:
@@ -149,7 +154,7 @@ class SortedRun:
         """Filter + fence-pointer pre-check, costing no I/O."""
         if self._keys.size == 0:
             return False
-        if key < self.min_key or key > self.max_key:
+        if key < self._min_key or key > self._max_key:
             return False
         return self._filter.might_contain(int(key))
 
@@ -176,6 +181,39 @@ class SortedRun:
             return True, bool(self._tombstones[index]), pages_read
         return False, False, pages_read
 
+    def lookup_many(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+        """Probe the run for a batch of keys in one vectorised pass.
+
+        Returns ``(found, is_tombstone, pages_read)`` where the two masks are
+        aligned with ``keys`` and ``pages_read`` is the *total* disk pages the
+        batch had to touch.  Page counts are per probe, not per unique page —
+        two lookups landing on the same candidate page still charge two
+        reads, exactly as issuing the scalar :meth:`lookup` per key would —
+        so the caller's I/O accounting is bit-identical to the scalar path.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        found = np.zeros(keys.size, dtype=bool)
+        tombstone = np.zeros(keys.size, dtype=bool)
+        if keys.size == 0 or self._keys.size == 0:
+            return found, tombstone, 0
+        # Fence-bound + Bloom pre-check, both as array ops (no I/O charged).
+        in_bounds = np.flatnonzero((keys >= self._min_key) & (keys <= self._max_key))
+        if in_bounds.size == 0:
+            return found, tombstone, 0
+        bounded = keys[in_bounds]
+        probe_idx = in_bounds[self._filter.might_contain_many(bounded.astype(np.uint64))]
+        pages_read = probe_idx.size
+        if pages_read:
+            probed = keys[probe_idx]
+            # One searchsorted over the run's keys resolves every candidate;
+            # the bound check above guarantees the indices are in range.
+            indices = np.searchsorted(self._keys, probed)
+            hit = self._keys[indices] == probed
+            hits = probe_idx[hit]
+            found[hits] = True
+            tombstone[hits] = self._tombstones[indices[hit]]
+        return found, tombstone, pages_read
+
     # ------------------------------------------------------------------
     # Range scans
     # ------------------------------------------------------------------
@@ -188,8 +226,12 @@ class SortedRun:
         lo = int(np.searchsorted(self._keys, start_key, side="left"))
         hi = int(np.searchsorted(self._keys, end_key, side="right")) - 1
         if hi < lo:
-            # No key inside the interval, but the seek still reads one page.
-            page = self.page_of(start_key)
+            # No key inside the interval, but the seek still reads one page:
+            # the one holding the largest key below ``start_key`` (``lo`` is
+            # at least 1 here — an interval entirely below the run was ruled
+            # out above — so the page falls out of the searchsorted already
+            # done, without a second pass over the fence pointers).
+            page = (lo - 1) // self.entries_per_page
             return PageSpan(page, page)
         return PageSpan(lo // self.entries_per_page, hi // self.entries_per_page)
 

@@ -1,0 +1,284 @@
+"""Property tests for vectorised batch trace execution.
+
+The batched read path (``BloomFilter.might_contain_many`` →
+``SortedRun.lookup_many`` → ``LSMTree.get_many`` → the executor's GET-span
+segmenter) carries one contract: **bit identity** with the scalar path.
+Virtual-disk counters, tree state and session measurements must come out
+byte-for-byte equal whether a trace is replayed one operation at a time or
+in vectorised batches.  These tests pin that contract:
+
+* random mixed op streams (gets, empty gets, puts-as-updates, deletes via
+  pre-seeded tombstones, range scans) over every registered compaction
+  policy — including per-level K_i vector bounds — with tiny buffers so
+  flushes and compactions land mid-stream;
+* executor-level session measurements, batched vs scalar;
+* the adaptive loop with an incremental migration in flight, where batches
+  route through the mixed migration state's ``get_many`` instead of the
+  tree's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm import LSMTuning, Policy, simulator_system
+from repro.online import MigrationPlan, OnlineConfig
+from repro.storage import ExecutorConfig, LSMTree, WorkloadExecutor
+from repro.storage.lsm_tree import execute_operation, execute_operations_batched
+from repro.workloads import (
+    KeySpace,
+    Operation,
+    OperationType,
+    SessionGenerator,
+    UncertaintyBenchmark,
+    Workload,
+)
+
+_SYSTEM = simulator_system(num_entries=2_000)
+_KEY_SPACE = KeySpace.build(_SYSTEM.num_entries, seed=7)
+
+#: Every registered policy the simulator can run, including a fluid tuning
+#: with a full per-level K_i bound vector.
+_TUNINGS = [
+    LSMTuning(8.0, 6.0, Policy.LEVELING),
+    LSMTuning(5.0, 5.0, Policy.TIERING),
+    LSMTuning(6.0, 6.0, Policy.LAZY_LEVELING),
+    LSMTuning(6.0, 6.0, Policy.ONE_LEVELING),
+    LSMTuning(5.0, 5.0, Policy.FLUID, k_bound=3, z_bound=2),
+    LSMTuning(6.0, 6.0, Policy.FLUID, k_bounds=(4.0, 2.0, 1.0), z_bound=1.0),
+]
+_TUNING_IDS = [
+    "leveling",
+    "tiering",
+    "lazy-leveling",
+    "1-leveling",
+    "fluid-scalar",
+    "fluid-kvector",
+]
+
+
+@st.composite
+def _operation_streams(draw) -> list[Operation]:
+    """A random mixed op stream over the shared key space.
+
+    Writes hit fresh keys *and* already-resident keys (updates), so flushed
+    runs carry stale versions; gets split between resident and missing keys
+    so both Bloom-positive and Bloom-negative probes occur; short range
+    scans interleave to break GET spans.
+    """
+    existing = _KEY_SPACE.existing
+    missing = _KEY_SPACE.missing
+    num_ops = draw(st.integers(min_value=1, max_value=120))
+    ops: list[Operation] = []
+    for _ in range(num_ops):
+        kind = draw(
+            st.sampled_from(
+                [
+                    OperationType.GET,
+                    OperationType.GET,
+                    OperationType.GET,
+                    OperationType.EMPTY_GET,
+                    OperationType.PUT,
+                    OperationType.RANGE,
+                ]
+            )
+        )
+        if kind is OperationType.GET:
+            key = int(existing[draw(st.integers(0, existing.size - 1))])
+        elif kind is OperationType.EMPTY_GET:
+            key = int(missing[draw(st.integers(0, missing.size - 1))])
+        elif kind is OperationType.PUT:
+            if draw(st.booleans()):
+                key = int(existing[draw(st.integers(0, existing.size - 1))])
+            else:
+                key = _KEY_SPACE.fresh_start + draw(st.integers(0, 10_000))
+        else:
+            key = int(existing[draw(st.integers(0, existing.size - 1))])
+            ops.append(Operation(kind=kind, key=key, scan_length=draw(st.integers(1, 32))))
+            continue
+        ops.append(Operation(kind=kind, key=key))
+    return ops
+
+
+def _loaded_tree(tuning: LSMTuning, deletes: np.ndarray | None = None) -> LSMTree:
+    tree = LSMTree(tuning, _SYSTEM, seed=9)
+    tree.bulk_load(_KEY_SPACE.existing)
+    if deletes is not None:
+        for key in deletes:
+            tree.delete(int(key))
+    tree.disk.reset()
+    return tree
+
+
+class TestBatchedReplayBitIdentity:
+    """execute_operations_batched == per-op execute_operation, bit for bit."""
+
+    @pytest.mark.parametrize("tuning", _TUNINGS, ids=_TUNING_IDS)
+    @given(
+        ops=_operation_streams(),
+        max_batch_ops=st.sampled_from([1, 2, 7, 64, 4_096]),
+        delete_seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_disk_counters_and_tree_state_match(
+        self, tuning, ops, max_batch_ops, delete_seed
+    ):
+        rng = np.random.default_rng(delete_seed)
+        deletes = rng.choice(_KEY_SPACE.existing, size=40, replace=False)
+        scalar = _loaded_tree(tuning, deletes)
+        batched = _loaded_tree(tuning, deletes)
+
+        for op in ops:
+            execute_operation(scalar, op)
+        execute_operations_batched(batched, ops, max_batch_ops=max_batch_ops)
+
+        assert batched.disk.counters == scalar.disk.counters
+        assert batched.stats() == scalar.stats()
+
+    @given(
+        ops=_operation_streams(),
+        probe_seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_get_many_answers_and_io_match_scalar_gets(self, ops, probe_seed):
+        tuning = LSMTuning(6.0, 5.0, Policy.LEVELING)
+        rng = np.random.default_rng(probe_seed)
+        deletes = rng.choice(_KEY_SPACE.existing, size=40, replace=False)
+        scalar = _loaded_tree(tuning, deletes)
+        batched = _loaded_tree(tuning, deletes)
+        for op in ops:
+            execute_operation(scalar, op)
+            execute_operation(batched, op)
+
+        probe = np.concatenate(
+            [
+                rng.choice(_KEY_SPACE.existing, size=30, replace=True),
+                rng.choice(_KEY_SPACE.missing, size=10, replace=True),
+                deletes[:10],
+            ]
+        ).astype(np.int64)
+        before_scalar = scalar.disk.snapshot()
+        before_batched = batched.disk.snapshot()
+        expected = np.array([scalar.get(int(key)) for key in probe])
+        answers = batched.get_many(probe)
+        assert np.array_equal(answers, expected)
+        assert batched.disk.counters.delta(before_batched) == scalar.disk.counters.delta(
+            before_scalar
+        )
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    bench = UncertaintyBenchmark(size=100, seed=42)
+    generator = SessionGenerator(bench, seed=3)
+    workload = Workload(z0=0.2, z1=0.4, q=0.1, w=0.3)
+    return generator.paper_sequence(workload, include_writes=True, workloads_per_session=2)
+
+
+class TestExecutorParity:
+    """Session measurements are byte-identical, batched vs scalar."""
+
+    def _executor(self, batch: bool) -> WorkloadExecutor:
+        return WorkloadExecutor(
+            _SYSTEM,
+            ExecutorConfig(queries_per_workload=200, seed=5, batch_execution=batch),
+        )
+
+    @pytest.mark.parametrize(
+        "tuning", [_TUNINGS[0], _TUNINGS[1], _TUNINGS[5]], ids=["leveling", "tiering", "kvector"]
+    )
+    def test_run_sequence_measurements_match(self, tuning, sequence):
+        batched = self._executor(True).run_sequence(tuning, sequence)
+        scalar = self._executor(False).run_sequence(tuning, sequence)
+        assert batched == scalar
+
+    @pytest.mark.parametrize("max_batch_ops", [1, 13, 4_096])
+    def test_any_batch_bound_gives_the_same_measurement(self, max_batch_ops, sequence):
+        reference = self._executor(False).run_sequence(_TUNINGS[0], sequence)
+        executor = WorkloadExecutor(
+            _SYSTEM,
+            ExecutorConfig(
+                queries_per_workload=200,
+                seed=5,
+                batch_execution=True,
+                max_batch_ops=max_batch_ops,
+            ),
+        )
+        assert executor.run_sequence(_TUNINGS[0], sequence) == reference
+
+    def test_max_batch_ops_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_batch_ops"):
+            ExecutorConfig(max_batch_ops=0)
+
+
+class TestAdaptiveParity:
+    """The online loop fires, migrates and measures identically under batching."""
+
+    def _measure(self, batch: bool, sequence):
+        executor = WorkloadExecutor(
+            _SYSTEM,
+            ExecutorConfig(queries_per_workload=200, seed=5, batch_execution=batch),
+        )
+        online = OnlineConfig(
+            check_interval=64,
+            min_observations=128,
+            cooldown=256,
+            confirm_checks=2,
+            migration="incremental",
+            migration_step_ops=32,
+            migration_step_pages=8,
+        )
+        return executor.run_sequence_adaptive(_TUNINGS[0], sequence, online=online)
+
+    def test_adaptive_run_with_incremental_migration_matches_scalar(self, sequence):
+        batched = self._measure(True, sequence)
+        scalar = self._measure(False, sequence)
+        assert batched.sessions == scalar.sessions
+        assert batched.events == scalar.events
+        assert batched.final_tuning == scalar.final_tuning
+
+
+class TestMixedStateParity:
+    """MigrationPlan.get_many == per-key MigrationPlan.get, I/O included."""
+
+    def _mid_flight_plan(self) -> MigrationPlan:
+        source = _loaded_tree(LSMTuning(10.0, 8.0, Policy.LEVELING))
+        target = LSMTree(
+            LSMTuning(4.0, 6.0, Policy.TIERING), _SYSTEM, disk=source.disk, seed=33
+        )
+        checkpoint = np.sort(
+            np.concatenate([run.keys for runs in source.levels for run in runs])
+        )
+        plan = MigrationPlan(source, target, checkpoint, max_step_pages=64)
+        plan.run_next_step()
+        plan.run_next_step()
+        # Writes and deletes landing *during* the migration go to the target,
+        # so some keys are resolved there (live or tombstoned) and the rest
+        # fall through to the frozen source.
+        rng = np.random.default_rng(21)
+        for key in rng.choice(checkpoint, size=25, replace=False):
+            plan.put(int(key))
+        for key in rng.choice(checkpoint, size=25, replace=False):
+            plan.delete(int(key))
+        plan.source.disk.reset()
+        return plan
+
+    @given(probe_seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_get_many_matches_scalar_fallthrough(self, probe_seed):
+        scalar_plan = self._mid_flight_plan()
+        batched_plan = self._mid_flight_plan()
+        rng = np.random.default_rng(probe_seed)
+        probe = np.concatenate(
+            [
+                rng.choice(_KEY_SPACE.existing, size=40, replace=True),
+                rng.choice(_KEY_SPACE.missing, size=10, replace=True),
+            ]
+        ).astype(np.int64)
+        expected = np.array([scalar_plan.get(int(key)) for key in probe])
+        answers = batched_plan.get_many(probe)
+        assert np.array_equal(answers, expected)
+        assert batched_plan.source.disk.counters == scalar_plan.source.disk.counters

@@ -73,3 +73,26 @@ class TestBloomFilterBasics:
         bf = BloomFilter(expected_entries=10, bits_per_entry=8.0)
         bf.add_many(np.array([], dtype=np.uint64))
         assert bf.count == 0
+
+
+class TestBatchedMembership:
+    def test_might_contain_many_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        members = rng.choice(100_000, size=500, replace=False).astype(np.uint64)
+        bf = BloomFilter(expected_entries=500, bits_per_entry=6.0, seed=11)
+        bf.add_many(members)
+        probe = np.concatenate([members[:100], rng.integers(0, 200_000, size=400)]).astype(
+            np.uint64
+        )
+        batched = bf.might_contain_many(probe)
+        scalar = np.array([bf.might_contain(int(key)) for key in probe])
+        assert np.array_equal(batched, scalar)
+
+    def test_might_contain_many_empty_input(self):
+        bf = BloomFilter(expected_entries=10, bits_per_entry=8.0)
+        result = bf.might_contain_many(np.array([], dtype=np.uint64))
+        assert result.dtype == bool and result.size == 0
+
+    def test_degenerate_filter_answers_maybe_for_all(self):
+        bf = BloomFilter(expected_entries=100, bits_per_entry=0.0)
+        assert bf.might_contain_many(np.arange(5, dtype=np.uint64)).all()

@@ -298,3 +298,71 @@ class TestLazyLeveling:
             lazy.disk.counters.compaction_writes
             == leveled.disk.counters.compaction_writes
         )
+
+
+class TestBloomSeedAllocation:
+    """Every run creation bumps the seed counter before using it.
+
+    Regression: ``_merge_runs`` used to read ``_seed + _run_counter`` before
+    incrementing, while ``_new_run`` increments first — so a merged run
+    reused the Bloom hash seed of the most recently created run, correlating
+    the two filters' false positives.
+    """
+
+    def test_consecutive_runs_get_distinct_seeds(self):
+        tree = make_tree()
+        keys = np.arange(0, 20, dtype=np.int64)
+        empty = np.zeros(keys.size, dtype=bool)
+        flushed = tree._new_run(keys, empty, level=1)
+        merged = tree._merge_runs([flushed], target_level=1)
+        assert merged.bloom_filter.seed != flushed.bloom_filter.seed
+
+    def test_all_live_run_seeds_are_pairwise_distinct(self):
+        tree = make_tree(policy=Policy.TIERING, size_ratio=3.0, num_entries=2_000)
+        for key in range(0, 6_000, 2):
+            tree.put(key)
+        seeds = [
+            run.bloom_filter.seed for runs in tree.levels for run in runs
+        ]
+        assert len(tree.levels) >= 2  # compactions actually cascaded
+        assert len(seeds) == len(set(seeds))
+
+
+class TestBatchedGets:
+    def test_get_many_matches_scalar_gets_and_io(self):
+        rng = np.random.default_rng(17)
+        scalar = make_tree(num_entries=2_000)
+        batched = make_tree(num_entries=2_000)
+        resident = np.arange(0, 4_000, 2)
+        deletes = rng.choice(resident, size=30, replace=False)
+        puts = rng.integers(10_000, 12_000, size=200)
+        for tree in (scalar, batched):
+            tree.bulk_load(resident)
+            for key in deletes:
+                tree.delete(int(key))
+            for key in puts:
+                tree.put(int(key))
+            tree.disk.reset()
+        probe = np.concatenate(
+            [rng.choice(resident, size=60), rng.integers(1, 4_000, size=40) * 2 - 1]
+        ).astype(np.int64)
+        expected = np.array([scalar.get(int(key)) for key in probe])
+        answers = batched.get_many(probe)
+        assert np.array_equal(answers, expected)
+        assert batched.disk.counters == scalar.disk.counters
+
+    def test_get_many_empty_batch_is_free(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(100))
+        tree.disk.reset()
+        assert tree.get_many(np.array([], dtype=np.int64)).size == 0
+        assert tree.disk.counters.total == 0
+
+    def test_memtable_hits_charge_no_io(self):
+        tree = make_tree()
+        tree.put(7)
+        tree.delete(9)
+        tree.disk.reset()
+        answers = tree.get_many(np.array([7, 9], dtype=np.int64))
+        assert answers.tolist() == [True, False]
+        assert tree.disk.counters.total == 0

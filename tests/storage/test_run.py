@@ -177,3 +177,38 @@ class TestMerging:
     def test_from_sorted_keys_constructor(self):
         run = SortedRun.from_sorted_keys(np.array([1, 5, 9]), entries_per_page=2)
         assert run.num_entries == 3
+
+
+class TestBatchedLookup:
+    def test_lookup_many_matches_scalar_lookups(self):
+        rng = np.random.default_rng(9)
+        keys = np.unique(rng.integers(0, 2_000, size=400))
+        tombstones = rng.random(keys.size) < 0.2
+        run = make_run(keys, tombstones=tombstones.tolist(), seed=4)
+        probe = rng.integers(-50, 2_050, size=300).astype(np.int64)
+        found, tombstone, pages = run.lookup_many(probe)
+        scalar = [run.lookup(int(key)) for key in probe]
+        assert found.tolist() == [s[0] for s in scalar]
+        assert tombstone.tolist() == [s[1] for s in scalar]
+        assert pages == sum(s[2] for s in scalar)
+
+    def test_pages_charged_per_probe_not_per_unique_page(self):
+        # Two gets landing on the same page must charge two reads, exactly
+        # like two scalar lookups would.
+        run = make_run(range(0, 8), entries_per_page=4, bits=64.0)
+        _, _, pages = run.lookup_many(np.array([1, 2], dtype=np.int64))
+        assert pages == 2
+
+    def test_lookup_many_empty_inputs(self):
+        run = make_run(range(10))
+        found, tombstone, pages = run.lookup_many(np.array([], dtype=np.int64))
+        assert found.size == 0 and tombstone.size == 0 and pages == 0
+        empty = SortedRun.merge([], entries_per_page=4)
+        found, tombstone, pages = empty.lookup_many(np.array([1, 2], dtype=np.int64))
+        assert not found.any() and not tombstone.any() and pages == 0
+
+    def test_out_of_bounds_probes_charge_nothing(self):
+        run = make_run(range(100, 200))
+        found, _, pages = run.lookup_many(np.array([5, 500], dtype=np.int64))
+        assert not found.any()
+        assert pages == 0

@@ -82,6 +82,10 @@ _positive_int = _validated_number(int, lambda v: v > 0, "a positive integer")
 _non_negative_int = _validated_number(int, lambda v: v >= 0, "a non-negative integer")
 _non_negative_float = _validated_number(float, lambda v: v >= 0, "non-negative")
 _run_bound = _validated_number(float, lambda v: v >= 1, "at least 1")
+_fraction = _validated_number(float, lambda v: 0 <= v <= 1, "a fraction in [0, 1]")
+_positive_fraction = _validated_number(
+    float, lambda v: 0 < v <= 1, "a fraction in (0, 1]"
+)
 
 
 def _k_bounds_arg(text: str) -> tuple[float, ...]:
@@ -226,7 +230,36 @@ def _executor_config(args: argparse.Namespace, **overrides) -> ExecutorConfig:
         config.batch_execution = args.batch_execution
     if getattr(args, "max_batch_ops", None) is not None:
         config.max_batch_ops = args.max_batch_ops
+    if getattr(args, "update_fraction", None) is not None:
+        config.update_fraction = args.update_fraction
+    if getattr(args, "update_skew", None) is not None:
+        config.update_skew = args.update_skew
+    if getattr(args, "backend", None) is not None:
+        config.backend = args.backend
+    if getattr(args, "data_dir", None) is not None:
+        config.data_dir = args.data_dir
+    if getattr(args, "sync_writes", False):
+        config.sync_writes = True
     return config
+
+
+def _add_update_flags(subparser: argparse.ArgumentParser) -> None:
+    """Write-mix knobs shared by the simulator subcommands."""
+    subparser.add_argument(
+        "--update-fraction",
+        type=_fraction,
+        default=None,
+        help="fraction of the trace's writes that update an existing key "
+        "(creating obsolete versions compactions must consolidate) instead "
+        "of inserting a fresh one",
+    )
+    subparser.add_argument(
+        "--update-skew",
+        type=_non_negative_float,
+        default=None,
+        help="Zipf exponent concentrating updates on a hot key subset "
+        "(0 = uniform over the resident keys)",
+    )
 
 
 def _add_batch_flags(subparser: argparse.ArgumentParser) -> None:
@@ -347,14 +380,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tune.add_argument(
         "--long-range-fraction",
-        type=float,
+        type=_fraction,
         default=0.0,
         help="fraction of the range lookups that are long (scan-dominated); "
         "0 reproduces the paper's short-range-only model",
     )
     tune.add_argument(
         "--long-range-selectivity",
-        type=float,
+        type=_positive_fraction,
         default=None,
         help="selectivity of long range queries (fraction of all entries; "
         "default: the system's built-in 0.001)",
@@ -412,16 +445,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument(
         "--long-range-fraction",
-        type=float,
+        type=_fraction,
         default=0.0,
         help="fraction of range lookups issued (and modelled) as long scans",
     )
     compare.add_argument(
         "--long-scan-keys",
-        type=int,
+        type=_positive_int,
         default=512,
         help="keys covered by one long range scan on the simulator",
     )
+    compare.add_argument(
+        "--backend",
+        choices=("simulated", "persistent"),
+        default="simulated",
+        help="storage backend the compared trees run on: 'simulated' keeps "
+        "runs in memory, 'persistent' builds real SSTable files (identical "
+        "I/O counters; wall-clock time becomes meaningful)",
+    )
+    compare.add_argument(
+        "--data-dir",
+        default=None,
+        help="parent directory for the persistent backend's per-tree files "
+        "(default: a temp dir, removed after the run; a given directory is "
+        "kept for inspection)",
+    )
+    compare.add_argument(
+        "--sync-writes",
+        action="store_true",
+        help="fsync the persistent backend's write-ahead log on every write",
+    )
+    _add_update_flags(compare)
     compare.add_argument(
         "--seed",
         type=int,
@@ -563,6 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="let fluid re-tunings search per-level K_i bound vectors "
         "(vector proposals migrate like any other tuning)",
     )
+    _add_update_flags(online)
     online.add_argument(
         "--parallel",
         action="store_true",

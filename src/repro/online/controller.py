@@ -41,7 +41,7 @@ from ..lsm.policy import CLASSIC_POLICIES, Policy, PolicySpec
 from ..lsm.system import SystemConfig
 from ..lsm.tuning import LSMTuning
 from ..storage.lsm_tree import POINT_READ_KINDS, SCALAR_SPAN_CUTOFF, LSMTree
-from ..storage.run import SortedRun
+from ..storage.run import consolidate_versions
 from ..workloads.traces import Operation
 from ..workloads.workload import Workload
 from .drift import DriftDetector
@@ -441,30 +441,30 @@ class OnlineLSMController:
         """All live keys of the tree (runs + memtable), tombstones resolved.
 
         Versions are consolidated newest-first exactly like a full compaction
-        (via :meth:`~repro.storage.run.SortedRun.merge`): a tombstone in a
-        recent run *shadows* older live versions of its key in deeper runs,
-        so deleted keys are not resurrected by the rebuild.
+        (via :func:`~repro.storage.run.consolidate_versions`): a tombstone in
+        a recent run *shadows* older live versions of its key in deeper runs,
+        so deleted keys are not resurrected by the rebuild.  Run contents are
+        read through the backend-agnostic ``entries()`` accessor, so a
+        persistent tree checkpoints the same way the simulated one does.
         """
         tree = self.tree
-        ordered = []
+        key_parts: list[np.ndarray] = []
+        tombstone_parts: list[np.ndarray] = []
         buffered_keys, buffered_tombstones = tree.memtable.sorted_items()
         if buffered_keys.size:
-            ordered.append(
-                SortedRun(
-                    keys=buffered_keys,
-                    entries_per_page=tree.entries_per_page,
-                    tombstones=buffered_tombstones,
-                )
-            )
+            key_parts.append(buffered_keys)
+            tombstone_parts.append(buffered_tombstones)
         # ``levels`` runs shallow-to-deep, and runs within a level are kept
-        # most-recent first — the recency order ``SortedRun.merge`` expects.
-        ordered.extend(run for runs in tree.levels for run in runs)
-        if not ordered:
+        # most-recent first — the recency order consolidation expects.
+        for runs in tree.levels:
+            for run in runs:
+                run_keys, run_tombstones = run.entries()
+                key_parts.append(run_keys)
+                tombstone_parts.append(run_tombstones)
+        if not key_parts:
             return np.empty(0, dtype=np.int64)
-        merged = SortedRun.merge(
-            ordered, entries_per_page=tree.entries_per_page, drop_tombstones=True
-        )
-        return merged.keys.copy()
+        keys, _ = consolidate_versions(key_parts, tombstone_parts, drop_tombstones=True)
+        return keys.copy()
 
     def _migrate(self, new_tuning: LSMTuning) -> tuple[int, int]:
         """Rebuild the live tree under ``new_tuning``, charging the I/O.
@@ -484,15 +484,20 @@ class OnlineLSMController:
         )
         self.disk.read_pages(read_pages, compaction=True)
         self.disk.write_pages(write_pages, compaction=True)
+        replaced = self.tree
         self.tree = replacement
+        replaced.dispose()
         return read_pages, write_pages
 
     def _replacement_tree(self, new_tuning: LSMTuning) -> LSMTree:
-        """An empty tree under ``new_tuning`` sharing the live disk."""
-        return LSMTree(
-            tuning=new_tuning,
-            system=self.system,
-            disk=self.disk,
+        """An empty tree under ``new_tuning`` sharing the live disk.
+
+        Built through the live tree's ``successor`` factory, so the
+        replacement runs on the same backend (a persistent tree migrates to
+        another persistent tree).
+        """
+        return self.tree.successor(
+            new_tuning,
             seed=self.tree._seed + self.tree._run_counter + 1,
         )
 
@@ -536,5 +541,9 @@ class OnlineLSMController:
 
     def _maybe_finish_migration(self) -> None:
         if self._plan is not None and self._plan.completed:
+            replaced = self.tree
             self.tree = self._plan.target
             self._plan = None
+            # Every live entry now resides in the target; the source tree's
+            # backend storage is garbage.
+            replaced.dispose()

@@ -11,6 +11,7 @@ from .executor import (
 )
 from .lsm_tree import LSMTree, TreeStats
 from .memtable import Memtable
+from .persistent import PersistentLSMTree, SSTable, WriteAheadLog
 from .run import PageSpan, SortedRun
 
 __all__ = [
@@ -21,10 +22,13 @@ __all__ = [
     "LSMTree",
     "Memtable",
     "PageSpan",
+    "PersistentLSMTree",
+    "SSTable",
     "SequenceMeasurement",
     "SessionMeasurement",
     "SortedRun",
     "TreeStats",
     "VirtualDisk",
     "WorkloadExecutor",
+    "WriteAheadLog",
 ]

@@ -134,6 +134,44 @@ class BloomFilter:
         return self.might_contain(int(key))
 
     # ------------------------------------------------------------------
+    # Serialisation (persistent-backend sidecars)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict[str, np.ndarray]:
+        """The filter's full state as plain arrays (for an on-disk sidecar).
+
+        Everything a filter answers with is captured — parameters, insert
+        count and the bit table — so :meth:`from_state` reproduces a filter
+        whose probe answers are bit-identical to this one's.
+        """
+        params = np.array(
+            [self.expected_entries, self.seed, self._count], dtype=np.int64
+        )
+        return {
+            "params": params,
+            "bits_per_entry": np.array([self.bits_per_entry], dtype=np.float64),
+            "bits": self._bits,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, np.ndarray]) -> "BloomFilter":
+        """Rebuild a filter from :meth:`to_state` arrays (e.g. a sidecar)."""
+        expected_entries, seed, count = (int(v) for v in state["params"])
+        filt = cls(
+            expected_entries=expected_entries,
+            bits_per_entry=float(state["bits_per_entry"][0]),
+            seed=seed,
+        )
+        bits = np.asarray(state["bits"], dtype=np.uint8)
+        if bits.shape != filt._bits.shape:
+            raise ValueError(
+                f"sidecar bit table has {bits.size} bytes but the filter "
+                f"parameters imply {filt._bits.size}"
+            )
+        filt._bits = bits.copy()
+        filt._count = count
+        return filt
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property

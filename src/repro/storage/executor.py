@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import tempfile
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -45,8 +46,13 @@ class SessionMeasurement:
         """Average I/Os per query, compactions amortised over the session.
 
         Mirrors §8.1: logical block accesses of reads, plus bytes flushed and
-        compaction traffic redistributed across the session's queries.
+        compaction traffic redistributed across the session's queries.  A
+        session that executed no queries reports 0.0 — there is nothing to
+        amortise over, and dividing by a phantom query would attribute the
+        session's background traffic to an operation that never ran.
         """
+        if self.num_queries == 0:
+            return 0.0
         total = (
             self.query_reads
             + self.query_writes
@@ -54,12 +60,17 @@ class SessionMeasurement:
             + self.compaction_reads
             + self.compaction_writes
         )
-        return total / max(1, self.num_queries)
+        return total / self.num_queries
 
     @property
     def read_ios_per_query(self) -> float:
-        """Average read I/Os per query caused directly by queries."""
-        return self.query_reads / max(1, self.num_queries)
+        """Average read I/Os per query caused directly by queries.
+
+        0.0 for a session that executed no queries (see :meth:`ios_per_query`).
+        """
+        if self.num_queries == 0:
+            return 0.0
+        return self.query_reads / self.num_queries
 
 
 @dataclass(frozen=True)
@@ -71,13 +82,27 @@ class SequenceMeasurement:
 
     @property
     def average_ios_per_query(self) -> float:
-        """I/Os per query averaged over all sessions of the sequence."""
-        return float(np.mean([s.ios_per_query for s in self.sessions]))
+        """I/Os per query averaged over the sequence's non-empty sessions.
+
+        Sessions are weighted equally (the paper averages per-session costs,
+        not per-query costs, so a light session counts as much as a heavy
+        one); sessions that executed no queries are excluded — they measured
+        nothing, and averaging their 0.0 in would understate the cost.
+        """
+        per_session = [s.ios_per_query for s in self.sessions if s.num_queries > 0]
+        if not per_session:
+            return 0.0
+        return float(np.mean(per_session))
 
     @property
     def average_latency_us(self) -> float:
-        """Simulated latency per query averaged over all sessions."""
-        return float(np.mean([s.latency_us_per_query for s in self.sessions]))
+        """Simulated latency per query averaged over non-empty sessions."""
+        per_session = [
+            s.latency_us_per_query for s in self.sessions if s.num_queries > 0
+        ]
+        if not per_session:
+            return 0.0
+        return float(np.mean(per_session))
 
     def session_series(self) -> list[dict[str, float | str]]:
         """Per-session rows suitable for tabular reporting."""
@@ -153,10 +178,29 @@ class ExecutorConfig:
     batch_execution: bool = True
     #: Upper bound on the keys of one batched GET span.
     max_batch_ops: int = 4_096
+    #: Storage backend the trees run on: ``"simulated"`` keeps runs in memory
+    #: (the default virtual-disk engine), ``"persistent"`` builds
+    #: :class:`~repro.storage.persistent.PersistentLSMTree` instances on real
+    #: SSTable files.  Both charge identical virtual-disk counters; the
+    #: persistent backend additionally pays real file I/O, so its wall-clock
+    #: time is meaningful.
+    backend: str = "simulated"
+    #: Parent directory for the persistent backend's per-tree data
+    #: directories.  ``None`` uses the system temp dir and removes each
+    #: tree's files when it is disposed; a given directory keeps them on
+    #: disk for inspection.
+    data_dir: str | None = None
+    #: Whether the persistent backend's write-ahead log ``fsync``s every
+    #: append (durability against OS crashes, at a steep wall-clock cost).
+    sync_writes: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch_ops <= 0:
             raise ValueError("max_batch_ops must be positive")
+        if self.backend not in ("simulated", "persistent"):
+            raise ValueError(
+                f"backend must be 'simulated' or 'persistent', got {self.backend!r}"
+            )
 
 
 class WorkloadExecutor:
@@ -176,16 +220,50 @@ class WorkloadExecutor:
         """Instantiate and bulk-load a tree for one tuning.
 
         Every tuning gets the exact same initial key set, mirroring the
-        paper's identical bulk-loading across database instances.
+        paper's identical bulk-loading across database instances.  The
+        configured backend decides the substrate: the simulated tree lives in
+        memory, the persistent one materialises its runs as SSTable files in
+        a fresh per-tree directory.  Dispose of the tree through
+        :meth:`dispose_tree` so backend resources are released either way.
         """
         disk = VirtualDisk(
             read_latency_us=self.config.read_latency_us,
             write_latency_us=self.config.write_latency_us,
         )
-        tree = LSMTree(tuning=tuning, system=self.system, disk=disk)
+        if self.config.backend == "persistent":
+            # Imported lazily: the simulated path stays importable even if
+            # the persistent package grows platform-specific dependencies.
+            from .persistent import PersistentLSMTree
+
+            if self.config.data_dir is not None:
+                os.makedirs(self.config.data_dir, exist_ok=True)
+            data_dir = tempfile.mkdtemp(prefix="tree-", dir=self.config.data_dir)
+            tree = PersistentLSMTree(
+                tuning=tuning,
+                system=self.system,
+                data_dir=data_dir,
+                disk=disk,
+                sync_writes=self.config.sync_writes,
+            )
+        else:
+            tree = LSMTree(tuning=tuning, system=self.system, disk=disk)
         tree.bulk_load(self.key_space.existing)
         tree.disk.reset()
         return tree
+
+    def dispose_tree(self, tree: LSMTree) -> None:
+        """Release a tree built by :meth:`build_tree`.
+
+        Persistent trees built into the system temp dir (no configured
+        ``data_dir``) also delete their files; trees under a user-chosen
+        ``data_dir`` are closed but left on disk for inspection.
+        """
+        if self.config.backend == "persistent" and self.config.data_dir is None:
+            destroy = getattr(tree, "destroy", None)
+            if destroy is not None:
+                destroy()
+                return
+        tree.close()
 
     # ------------------------------------------------------------------
     # Execution
@@ -223,7 +301,7 @@ class WorkloadExecutor:
             num_queries += len(operations)
             execute(operations)
         delta = disk.counters.delta(before)
-        latency = disk.latency_us(delta) / max(1, num_queries)
+        latency = disk.latency_us(delta) / num_queries if num_queries else 0.0
         return SessionMeasurement(
             label=session.label,
             workload=session.average,
@@ -267,11 +345,14 @@ class WorkloadExecutor:
     ) -> SequenceMeasurement:
         """Bulk-load a fresh tree for ``tuning`` and execute a full sequence."""
         tree = self.build_tree(tuning)
-        trace = self.trace_generator()
-        measurements = tuple(
-            self.run_session(tree, session, trace) for session in sequence
-        )
-        return SequenceMeasurement(tuning=tree.tuning, sessions=measurements)
+        try:
+            trace = self.trace_generator()
+            measurements = tuple(
+                self.run_session(tree, session, trace) for session in sequence
+            )
+            return SequenceMeasurement(tuning=tree.tuning, sessions=measurements)
+        finally:
+            self.dispose_tree(tree)
 
     def compare(
         self,
@@ -331,37 +412,44 @@ class WorkloadExecutor:
         from ..online.controller import OnlineConfig, OnlineLSMController
 
         tree = self.build_tree(initial_tuning)
-        controller = OnlineLSMController(
-            tree=tree,
-            expected=sequence.expected,
-            config=online if online is not None else OnlineConfig(),
-            policies=policies,
-        )
-        if self.config.batch_execution:
-            def execute(operations):
-                controller.execute_batched(
-                    operations, max_batch_ops=self.config.max_batch_ops
-                )
-        else:
-            execute = controller.execute
-        trace = self.trace_generator()
-        measurements = tuple(
-            self._measure_session(controller.disk, execute, session, trace)
-            for session in sequence
-        )
-        # A migration plan still in flight at stream end is drained now, as
-        # an operator would during quiescence: the trailing steps land on
-        # the shared disk (after the last session's window — per-session
-        # metrics keep their in-stream shape) so the events' page totals are
-        # fully charged, ``final_tuning`` reports the tuning actually
-        # reached, and the target's tombstone hold is released.
-        controller.finish_migration()
-        return AdaptiveSequenceMeasurement(
-            tuning=tree.tuning,
-            sessions=measurements,
-            final_tuning=controller.tuning,
-            events=tuple(controller.events),
-        )
+        controller = None
+        try:
+            controller = OnlineLSMController(
+                tree=tree,
+                expected=sequence.expected,
+                config=online if online is not None else OnlineConfig(),
+                policies=policies,
+            )
+            if self.config.batch_execution:
+                def execute(operations):
+                    controller.execute_batched(
+                        operations, max_batch_ops=self.config.max_batch_ops
+                    )
+            else:
+                execute = controller.execute
+            trace = self.trace_generator()
+            measurements = tuple(
+                self._measure_session(controller.disk, execute, session, trace)
+                for session in sequence
+            )
+            # A migration plan still in flight at stream end is drained now,
+            # as an operator would during quiescence: the trailing steps land
+            # on the shared disk (after the last session's window —
+            # per-session metrics keep their in-stream shape) so the events'
+            # page totals are fully charged, ``final_tuning`` reports the
+            # tuning actually reached, and the target's tombstone hold is
+            # released.
+            controller.finish_migration()
+            return AdaptiveSequenceMeasurement(
+                tuning=tree.tuning,
+                sessions=measurements,
+                final_tuning=controller.tuning,
+                events=tuple(controller.events),
+            )
+        finally:
+            # Migrations may have swapped the live tree; dispose the one the
+            # controller currently owns.
+            self.dispose_tree(controller.tree if controller is not None else tree)
 
     def compare_adaptive(
         self,

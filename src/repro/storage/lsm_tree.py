@@ -314,15 +314,31 @@ class LSMTree:
         # incrementing would reuse the Bloom hash seed of the most recently
         # created run, correlating the two filters' false positives.
         self._run_counter += 1
-        merged = SortedRun.merge(
+        merged = self._merged_run(
             runs,
-            entries_per_page=self.entries_per_page,
-            bits_per_entry=self._bits_for_level(target_level),
+            target_level,
             drop_tombstones=is_last_level and not self.preserve_tombstones,
-            seed=self._seed + self._run_counter,
         )
         self.disk.write_pages(merged.num_pages, compaction=True)
         return merged
+
+    def _merged_run(
+        self, runs: list[SortedRun], target_level: int, drop_tombstones: bool
+    ) -> SortedRun:
+        """Materialise the consolidated run of a compaction.
+
+        The backend-specific half of :meth:`_merge_runs` (which owns the I/O
+        accounting and the tombstone-drop decision): the simulated tree
+        sort-merges the in-memory arrays, the persistent backend overrides
+        this to read the input SSTables from disk and write a new one.
+        """
+        return SortedRun.merge(
+            runs,
+            entries_per_page=self.entries_per_page,
+            bits_per_entry=self._bits_for_level(target_level),
+            drop_tombstones=drop_tombstones,
+            seed=self._seed + self._run_counter,
+        )
 
     def _maybe_spill_merging(self, level: int) -> None:
         """Cascade over-full single-run (leveled) levels into deeper levels."""
@@ -655,6 +671,37 @@ class LSMTree:
         # Interleave keys across runs so every run spans the whole key domain,
         # as overlapping tiered runs do in practice.
         return [chunk[offset::num_runs] for offset in range(num_runs)]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def successor(self, tuning: LSMTuning, seed: int) -> "LSMTree":
+        """An empty tree of the same backend, sharing this tree's disk.
+
+        The online controller rebuilds through this factory when it migrates
+        to a new tuning, so a persistent tree is replaced by another
+        persistent tree (in a fresh sibling directory) rather than silently
+        falling back to the simulated substrate.
+        """
+        return LSMTree(tuning=tuning, system=self.system, disk=self.disk, seed=seed)
+
+    def close(self) -> None:
+        """Release backend resources.
+
+        The simulated tree holds none (everything lives in memory), but the
+        executor closes every tree it builds through this method so the
+        persistent backend's file handles are released uniformly.
+        """
+
+    def dispose(self) -> None:
+        """Release the tree at end-of-life, deleting owned backend storage.
+
+        For the simulated tree this is :meth:`close`; the persistent tree
+        also removes its data directory.  Called on trees a migration has
+        fully superseded — every live entry was copied into the replacement,
+        so the storage is garbage.
+        """
+        self.close()
 
     # ------------------------------------------------------------------
     # Introspection

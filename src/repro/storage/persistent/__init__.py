@@ -1,0 +1,15 @@
+"""Persistent storage backend: real SSTable files behind the LSMTree interface.
+
+The simulated :class:`~repro.storage.lsm_tree.LSMTree` keeps its runs in
+memory and models I/O as virtual-disk page counts.  This package provides the
+same tree on real storage — a write-ahead log for durability, on-disk SSTable
+files with sparse-index and Bloom-filter sidecars, real compaction I/O — with
+byte-identical structure decisions and disk counters, so measured wall-clock
+time can be compared against the analytical cost model's predictions.
+"""
+
+from .sstable import SSTable
+from .tree import PersistentLSMTree
+from .wal import WriteAheadLog
+
+__all__ = ["PersistentLSMTree", "SSTable", "WriteAheadLog"]

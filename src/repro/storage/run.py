@@ -17,6 +17,40 @@ import numpy as np
 from .bloom_filter import BloomFilter
 
 
+def consolidate_versions(
+    key_parts: list[np.ndarray],
+    tombstone_parts: list[np.ndarray],
+    drop_tombstones: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Newest-wins consolidation of several sorted-run contents.
+
+    ``key_parts`` are ordered newest first; duplicate keys keep the version
+    from the earliest part, matching compaction semantics.  Returns the
+    consolidated ``(keys, tombstones)`` sorted by key.  This is the array
+    core of :meth:`SortedRun.merge`, shared with the persistent backend's
+    on-disk compaction so both consolidate byte-identically.
+    """
+    all_keys = np.concatenate(key_parts)
+    all_tombstones = np.concatenate(tombstone_parts)
+    # Recency rank: entries from key_parts[0] are newest and must win.
+    recency = np.concatenate(
+        [np.full(part.size, rank) for rank, part in enumerate(key_parts)]
+    )
+    order = np.lexsort((recency, all_keys))
+    sorted_keys = all_keys[order]
+    sorted_tombstones = all_tombstones[order]
+    if sorted_keys.size:
+        keep = np.ones(sorted_keys.size, dtype=bool)
+        keep[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        sorted_keys = sorted_keys[keep]
+        sorted_tombstones = sorted_tombstones[keep]
+    if drop_tombstones:
+        live = ~sorted_tombstones
+        sorted_keys = sorted_keys[live]
+        sorted_tombstones = sorted_tombstones[live]
+    return sorted_keys, sorted_tombstones
+
+
 @dataclass(frozen=True)
 class PageSpan:
     """A contiguous range of pages within one run."""
@@ -141,6 +175,16 @@ class SortedRun:
     def bloom_filter(self) -> BloomFilter:
         """The run's Bloom filter."""
         return self._filter
+
+    def entries(self) -> tuple[np.ndarray, np.ndarray]:
+        """The run's full contents as ``(keys, tombstones)``, charging no I/O.
+
+        The backend-agnostic accessor consolidation and migration planning
+        use: the simulated run hands out its in-memory arrays, the persistent
+        backend's SSTable reads its data file.  Callers that model the read
+        cost (a compaction, a migration checkpoint) charge it separately.
+        """
+        return self._keys, self._tombstones
 
     @property
     def filter_size_bits(self) -> int:
@@ -296,24 +340,11 @@ class SortedRun:
             return SortedRun(
                 np.empty(0, dtype=np.int64), entries_per_page, bits_per_entry, seed=seed
             )
-        all_keys = np.concatenate([run._keys for run in runs])
-        all_tombstones = np.concatenate([run._tombstones for run in runs])
-        # Recency rank: entries from runs[0] are newest and must win.
-        recency = np.concatenate(
-            [np.full(run._keys.size, rank) for rank, run in enumerate(runs)]
+        sorted_keys, sorted_tombstones = consolidate_versions(
+            [run._keys for run in runs],
+            [run._tombstones for run in runs],
+            drop_tombstones=drop_tombstones,
         )
-        order = np.lexsort((recency, all_keys))
-        sorted_keys = all_keys[order]
-        sorted_tombstones = all_tombstones[order]
-        if sorted_keys.size:
-            keep = np.ones(sorted_keys.size, dtype=bool)
-            keep[1:] = sorted_keys[1:] != sorted_keys[:-1]
-            sorted_keys = sorted_keys[keep]
-            sorted_tombstones = sorted_tombstones[keep]
-        if drop_tombstones:
-            live = ~sorted_tombstones
-            sorted_keys = sorted_keys[live]
-            sorted_tombstones = sorted_tombstones[live]
         return SortedRun(
             keys=sorted_keys,
             entries_per_page=entries_per_page,

@@ -241,36 +241,45 @@ class TestAdaptiveParity:
         assert batched.final_tuning == scalar.final_tuning
 
 
+def _mid_flight_plan() -> tuple[MigrationPlan, np.ndarray, np.ndarray]:
+    """A migration caught mid-flight, with writes and deletes landed on top.
+
+    Returns ``(plan, mid_plan_puts, mid_plan_deletes)``.  Puts are applied
+    before deletes, so any key drawn into both ends up tombstoned — every key
+    in ``mid_plan_deletes`` must read as dead through the mixed state.
+    """
+    source = _loaded_tree(LSMTuning(10.0, 8.0, Policy.LEVELING))
+    target = LSMTree(
+        LSMTuning(4.0, 6.0, Policy.TIERING), _SYSTEM, disk=source.disk, seed=33
+    )
+    checkpoint = np.sort(
+        np.concatenate([run.keys for runs in source.levels for run in runs])
+    )
+    plan = MigrationPlan(source, target, checkpoint, max_step_pages=64)
+    plan.run_next_step()
+    plan.run_next_step()
+    # Writes and deletes landing *during* the migration go to the target,
+    # so some keys are resolved there (live or tombstoned) and the rest
+    # fall through to the frozen source.
+    rng = np.random.default_rng(21)
+    puts = rng.choice(checkpoint, size=25, replace=False)
+    deletes = rng.choice(checkpoint, size=25, replace=False)
+    for key in puts:
+        plan.put(int(key))
+    for key in deletes:
+        plan.delete(int(key))
+    plan.source.disk.reset()
+    return plan, puts, deletes
+
+
 class TestMixedStateParity:
     """MigrationPlan.get_many == per-key MigrationPlan.get, I/O included."""
-
-    def _mid_flight_plan(self) -> MigrationPlan:
-        source = _loaded_tree(LSMTuning(10.0, 8.0, Policy.LEVELING))
-        target = LSMTree(
-            LSMTuning(4.0, 6.0, Policy.TIERING), _SYSTEM, disk=source.disk, seed=33
-        )
-        checkpoint = np.sort(
-            np.concatenate([run.keys for runs in source.levels for run in runs])
-        )
-        plan = MigrationPlan(source, target, checkpoint, max_step_pages=64)
-        plan.run_next_step()
-        plan.run_next_step()
-        # Writes and deletes landing *during* the migration go to the target,
-        # so some keys are resolved there (live or tombstoned) and the rest
-        # fall through to the frozen source.
-        rng = np.random.default_rng(21)
-        for key in rng.choice(checkpoint, size=25, replace=False):
-            plan.put(int(key))
-        for key in rng.choice(checkpoint, size=25, replace=False):
-            plan.delete(int(key))
-        plan.source.disk.reset()
-        return plan
 
     @given(probe_seed=st.integers(0, 2**16))
     @settings(max_examples=10, deadline=None)
     def test_get_many_matches_scalar_fallthrough(self, probe_seed):
-        scalar_plan = self._mid_flight_plan()
-        batched_plan = self._mid_flight_plan()
+        scalar_plan, _, _ = _mid_flight_plan()
+        batched_plan, _, _ = _mid_flight_plan()
         rng = np.random.default_rng(probe_seed)
         probe = np.concatenate(
             [
@@ -282,3 +291,113 @@ class TestMixedStateParity:
         answers = batched_plan.get_many(probe)
         assert np.array_equal(answers, expected)
         assert batched_plan.source.disk.counters == scalar_plan.source.disk.counters
+
+
+class TestAdversarialBatchScalarParity:
+    """Batch == scalar on hostile probes: duplicate keys inside one batch,
+    keys deleted mid-plan, and keys absent from both trees.
+
+    The per-probe I/O charging contract means a key duplicated N times in a
+    batch must cost exactly N scalar lookups — deduplicating probes (a
+    tempting "optimisation") would silently change the simulator's counters.
+    """
+
+    @given(probe_seed=st.integers(0, 2**16), dup_factor=st.integers(2, 5))
+    @settings(max_examples=8, deadline=None)
+    def test_plan_get_many_on_duplicates_deletions_and_misses(
+        self, probe_seed, dup_factor
+    ):
+        scalar_plan, _, deleted = _mid_flight_plan()
+        batched_plan, _, _ = _mid_flight_plan()
+        rng = np.random.default_rng(probe_seed)
+        base = np.concatenate(
+            [
+                deleted,  # tombstoned mid-plan: target's deletion must shadow
+                rng.choice(_KEY_SPACE.missing, size=15, replace=True),  # in neither
+                rng.choice(_KEY_SPACE.existing, size=15, replace=True),
+            ]
+        )
+        # Every key appears dup_factor times, shuffled so duplicates are not
+        # adjacent — the batch path must answer and charge each occurrence.
+        probe = np.repeat(base, dup_factor).astype(np.int64)
+        rng.shuffle(probe)
+
+        expected = np.array([scalar_plan.get(int(key)) for key in probe])
+        answers = batched_plan.get_many(probe)
+
+        assert np.array_equal(answers, expected)
+        assert batched_plan.source.disk.counters == scalar_plan.source.disk.counters
+        # Semantics, not just parity: mid-plan deletions read dead everywhere,
+        # keys absent from both trees read dead everywhere.
+        assert not answers[np.isin(probe, deleted)].any()
+        assert not answers[np.isin(probe, _KEY_SPACE.missing)].any()
+
+    @pytest.mark.parametrize(
+        "tuning", [_TUNINGS[0], _TUNINGS[1], _TUNINGS[5]], ids=["leveling", "tiering", "kvector"]
+    )
+    @given(probe_seed=st.integers(0, 2**16), dup_factor=st.integers(2, 5))
+    @settings(max_examples=8, deadline=None)
+    def test_lookup_entries_matches_scalar_lookup_entry(
+        self, tuning, probe_seed, dup_factor
+    ):
+        rng = np.random.default_rng(probe_seed)
+        deletes = rng.choice(_KEY_SPACE.existing, size=40, replace=False)
+        scalar = _loaded_tree(tuning, deletes)
+        batched = _loaded_tree(tuning, deletes)
+
+        base = np.concatenate(
+            [
+                deletes[:15],  # newest version is a tombstone
+                rng.choice(_KEY_SPACE.missing, size=10, replace=True),  # absent
+                rng.choice(_KEY_SPACE.existing, size=15, replace=True),
+            ]
+        )
+        probe = np.repeat(base, dup_factor).astype(np.int64)
+        rng.shuffle(probe)
+
+        before_scalar = scalar.disk.snapshot()
+        before_batched = batched.disk.snapshot()
+        expected = [scalar.lookup_entry(int(key)) for key in probe]
+        expected_found = np.array([found for found, _ in expected])
+        expected_tombstone = np.array([tomb for _, tomb in expected])
+        found, tombstone = batched.lookup_entries(probe)
+
+        assert np.array_equal(found, expected_found)
+        assert np.array_equal(tombstone, expected_tombstone)
+        assert batched.disk.counters.delta(before_batched) == scalar.disk.counters.delta(
+            before_scalar
+        )
+        # Three-state semantics on the hostile keys themselves.
+        deleted_mask = np.isin(probe, deletes)
+        assert found[deleted_mask].all() and tombstone[deleted_mask].all()
+        missing_mask = np.isin(probe, _KEY_SPACE.missing)
+        assert not found[missing_mask].any() and not tombstone[missing_mask].any()
+
+    def test_single_key_repeated_batch_charges_per_probe(self):
+        """A batch of one key repeated N times costs N scalar lookups."""
+        scalar_plan, _, deleted = _mid_flight_plan()
+        batched_plan, _, _ = _mid_flight_plan()
+        probe = np.full(64, int(deleted[0]), dtype=np.int64)
+        expected = np.array([scalar_plan.get(int(key)) for key in probe])
+        answers = batched_plan.get_many(probe)
+        assert np.array_equal(answers, expected)
+        assert not answers.any()
+        assert batched_plan.source.disk.counters == scalar_plan.source.disk.counters
+
+    def test_all_absent_batch_matches_scalar(self):
+        """Keys absent from both trees: only Bloom false positives pay I/O,
+        and they pay identically on both paths."""
+        scalar_plan, _, _ = _mid_flight_plan()
+        batched_plan, _, _ = _mid_flight_plan()
+        probe = _KEY_SPACE.missing[:80].astype(np.int64)
+        expected = np.array([scalar_plan.get(int(key)) for key in probe])
+        answers = batched_plan.get_many(probe)
+        assert np.array_equal(answers, expected)
+        assert not answers.any()
+        assert batched_plan.source.disk.counters == scalar_plan.source.disk.counters
+
+    def test_empty_batch_is_free(self):
+        plan, _, _ = _mid_flight_plan()
+        answers = plan.get_many(np.empty(0, dtype=np.int64))
+        assert answers.size == 0
+        assert plan.source.disk.counters.total == 0

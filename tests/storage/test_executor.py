@@ -7,9 +7,27 @@ from repro.online import OnlineConfig
 from repro.storage import (
     AdaptiveSequenceMeasurement,
     ExecutorConfig,
+    SequenceMeasurement,
+    SessionMeasurement,
     WorkloadExecutor,
 )
-from repro.workloads import SessionType
+from repro.workloads import SessionType, Workload
+
+
+def _session_measurement(num_queries, **overrides):
+    base = dict(
+        label="s",
+        workload=Workload(0.25, 0.25, 0.25, 0.25),
+        num_queries=num_queries,
+        query_reads=0,
+        query_writes=0,
+        flush_writes=0,
+        compaction_reads=0,
+        compaction_writes=0,
+        latency_us_per_query=0.0,
+    )
+    base.update(overrides)
+    return SessionMeasurement(**base)
 
 
 @pytest.fixture(scope="module")
@@ -229,6 +247,53 @@ class TestAdaptiveExecution:
         clashing = dict(tunings, adaptive=tunings["nominal"])
         with pytest.raises(ValueError):
             executor.compare_adaptive(clashing, sequence, adaptive_from="nominal")
+
+
+class TestEmptySessionAccounting:
+    """Zero-query sessions must not invent a phantom query to amortise over.
+
+    ``ios_per_query`` used to divide by ``max(1, num_queries)``, so a session
+    that executed nothing but still saw background traffic (a flush riding on
+    the disk between snapshots) reported that traffic as the cost of one
+    query that never ran — and dragged sequence averages with it.
+    """
+
+    def test_empty_session_reports_zero_ios_per_query(self):
+        ghost = _session_measurement(num_queries=0, flush_writes=128,
+                                     compaction_reads=64, compaction_writes=64)
+        assert ghost.ios_per_query == 0.0
+        assert ghost.read_ios_per_query == 0.0
+
+    def test_single_query_session_still_amortises_normally(self):
+        single = _session_measurement(num_queries=1, query_reads=3, flush_writes=5)
+        assert single.ios_per_query == 8.0
+        assert single.read_ios_per_query == 3.0
+
+    def test_sequence_average_skips_empty_sessions(self):
+        """The sequence mean weights non-empty sessions equally (the paper
+        averages per-session costs) and excludes empty ones entirely — a
+        zero-query session measured nothing, so averaging its 0.0 in would
+        understate the sequence's cost."""
+        tuning = LSMTuning(5.0, 5.0, policy=Policy.LEVELING)
+        busy_a = _session_measurement(num_queries=10, query_reads=40,
+                                      latency_us_per_query=4.0)
+        busy_b = _session_measurement(num_queries=1_000, query_reads=2_000,
+                                      latency_us_per_query=2.0)
+        ghost = _session_measurement(num_queries=0, flush_writes=512)
+        sequence = SequenceMeasurement(
+            tuning=tuning, sessions=(busy_a, ghost, busy_b)
+        )
+        # (40/10 + 2000/1000) / 2 — equal session weights, ghost excluded.
+        assert sequence.average_ios_per_query == pytest.approx(3.0)
+        assert sequence.average_latency_us == pytest.approx(3.0)
+
+    def test_all_empty_sequence_averages_to_zero(self):
+        tuning = LSMTuning(5.0, 5.0, policy=Policy.LEVELING)
+        sequence = SequenceMeasurement(
+            tuning=tuning, sessions=(_session_measurement(num_queries=0),)
+        )
+        assert sequence.average_ios_per_query == 0.0
+        assert sequence.average_latency_us == 0.0
 
 
 class TestLazyLevelingExecution:

@@ -190,6 +190,75 @@ class TestReads:
         assert tombstones.tolist() == [True, False, False]
 
 
+class TestScanVersionsEdges:
+    """Newest-wins dedup under hostile layouts: versions of one key spread
+    across the memtable and several runs with interleaved tombstones, point
+    intervals (``start_key == end_key``), and intervals overlapping no run."""
+
+    def _interleaved_tree(self):
+        """Four on-disk runs plus a live memtable, with keys 10/11/12 flipping
+        between live and tombstoned at different depths:
+
+        * key 10 — live in bulk, tombstoned in run A, re-put in run B → live;
+        * key 11 — absent from bulk, put in run A, deleted in the memtable
+          → tombstone (the buffered delete shadows the on-disk put);
+        * key 12 — live in bulk, tombstoned in run B → tombstone.
+        """
+        tree = make_tree(policy=Policy.TIERING, size_ratio=4.0)
+        tree.bulk_load(np.arange(0, 200, 2))
+        tree.delete(10)
+        tree.put(11)
+        tree.flush()  # run A
+        tree.put(10)
+        tree.delete(12)
+        tree.flush()  # run B, newer than A
+        tree.delete(11)  # memtable, newest of all
+        assert sum(len(runs) for runs in tree.levels) >= 4
+        return tree
+
+    def test_interleaved_tombstones_resolve_newest_first(self):
+        tree = self._interleaved_tree()
+        keys, tombstones = tree.scan_versions(8, 14)
+        assert keys.tolist() == [8, 10, 11, 12, 14]
+        assert tombstones.tolist() == [False, False, True, True, False]
+        # range_query agrees: 8, 10, 14 live; 11 and 12 shadowed by deletes.
+        assert tree.range_query(8, 14) == 3
+
+    def test_point_interval_returns_single_newest_version(self):
+        tree = self._interleaved_tree()
+        for key, expect_tombstone in [(10, False), (11, True), (12, True)]:
+            keys, tombstones = tree.scan_versions(key, key)
+            assert keys.tolist() == [key]
+            assert tombstones.tolist() == [expect_tombstone]
+            assert tree.range_query(key, key) == (0 if expect_tombstone else 1)
+
+    def test_point_interval_on_missing_key_is_empty(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 100, 2))
+        keys, tombstones = tree.scan_versions(13, 13)
+        assert keys.size == 0
+        assert tombstones.size == 0
+
+    def test_interval_overlapping_no_run_is_empty_and_free(self):
+        tree = make_tree()
+        tree.bulk_load(np.arange(0, 1_000))
+        tree.disk.reset()
+        keys, tombstones = tree.scan_versions(50_000, 60_000)
+        assert keys.size == 0
+        assert tombstones.size == 0
+        assert tree.disk.counters.total == 0
+
+    def test_memtable_only_tree_scans_without_io(self):
+        tree = make_tree()
+        tree.put(3)
+        tree.delete(5)
+        tree.put(7)
+        keys, tombstones = tree.scan_versions(0, 10)
+        assert keys.tolist() == [3, 5, 7]
+        assert tombstones.tolist() == [False, True, False]
+        assert tree.disk.counters.total == 0
+
+
 class TestBulkLoadAndStats:
     def test_bulk_load_places_all_entries(self):
         tree = make_tree()

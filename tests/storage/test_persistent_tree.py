@@ -1,0 +1,510 @@
+"""Conformance suite of the persistent SSTable backend.
+
+The persistent tree must be observationally identical to the simulated one:
+same live-key answers, same virtual-disk counters, same tree shape, on any
+trace — and it must additionally survive process restarts and crashes.  The
+tests here drive both backends through identical operation streams (across
+every compaction policy, scalar and batched read paths, bulk loads and the
+online controller's migrations) and assert equality, then exercise the
+durability machinery: WAL replay, torn-record handling, crash-mid-flush
+recovery, orphan sweeping and garbage collection.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.lsm import LSMTuning, Policy, simulator_system
+from repro.storage import LSMTree, PersistentLSMTree, SortedRun, VirtualDisk
+from repro.storage.persistent import SSTable, WriteAheadLog
+from repro.storage.persistent.sstable import filter_sidecar_path, index_sidecar_path
+
+_SYSTEM = simulator_system(num_entries=2_000)
+
+#: One tuning per structural regime the compaction machinery distinguishes.
+_TUNINGS = [
+    LSMTuning(8.0, 6.0, Policy.LEVELING),
+    LSMTuning(5.0, 5.0, Policy.TIERING),
+    LSMTuning(6.0, 6.0, Policy.LAZY_LEVELING),
+    LSMTuning(6.0, 6.0, Policy.ONE_LEVELING),
+    LSMTuning(5.0, 5.0, Policy.FLUID, k_bound=3, z_bound=2),
+    LSMTuning(5.0, 5.0, Policy.FLUID, k_bounds=(4.0, 2.0, 1.0), z_bound=1),
+]
+
+_TUNING_IDS = [
+    "leveling", "tiering", "lazy-leveling", "one-leveling", "fluid", "fluid-kvec"
+]
+
+
+def _mixed_trace(seed: int, num_ops: int = 600):
+    """A deterministic mixed put/get/delete/range stream."""
+    rng = np.random.default_rng(seed)
+    kinds = rng.choice(["put", "get", "delete", "range"], size=num_ops,
+                       p=[0.45, 0.3, 0.15, 0.1])
+    keys = rng.integers(0, 60_000, size=num_ops)
+    return list(zip(kinds.tolist(), keys.tolist()))
+
+
+def _drive(tree, trace):
+    """Replay a trace, returning every query answer."""
+    answers = []
+    for kind, key in trace:
+        if kind == "put":
+            tree.put(key)
+        elif kind == "delete":
+            tree.delete(key)
+        elif kind == "get":
+            answers.append(tree.get(key))
+        else:
+            answers.append(tree.range_query(key, key + 700))
+    return answers
+
+
+def _persistent_pair(tuning, tmp_path, seed=3):
+    """A (simulated, persistent) tree pair with identical seeds and disks."""
+    sim = LSMTree(tuning, _SYSTEM, disk=VirtualDisk(), seed=seed)
+    per = PersistentLSMTree(
+        tuning, _SYSTEM, data_dir=tmp_path / "db", disk=VirtualDisk(), seed=seed
+    )
+    return sim, per
+
+
+@pytest.mark.parametrize("tuning", _TUNINGS, ids=_TUNING_IDS)
+class TestBackendConformance:
+    """Simulated and persistent trees are observationally identical."""
+
+    def test_identical_answers_counters_and_shape(self, tuning, tmp_path):
+        sim, per = _persistent_pair(tuning, tmp_path)
+        load = np.arange(0, 40_000, 13)
+        sim.bulk_load(load)
+        per.bulk_load(load)
+        trace = _mixed_trace(seed=11)
+        assert _drive(sim, trace) == _drive(per, trace)
+        assert sim.disk.counters == per.disk.counters
+        assert sim.stats() == per.stats()
+        per.destroy()
+
+    def test_batched_reads_match_across_backends(self, tuning, tmp_path):
+        sim, per = _persistent_pair(tuning, tmp_path)
+        load = np.arange(0, 30_000, 7)
+        sim.bulk_load(load)
+        per.bulk_load(load)
+        rng = np.random.default_rng(23)
+        for tree in (sim, per):
+            for key in rng.integers(0, 35_000, 150).tolist():
+                tree.put(key)
+            rng = np.random.default_rng(23)  # same writes for both trees
+        batch = np.r_[load[:50], np.arange(1, 400, 3), load[:10]]
+        sim_found, sim_tomb = sim.lookup_entries(batch)
+        per_found, per_tomb = per.lookup_entries(batch)
+        assert np.array_equal(sim_found, per_found)
+        assert np.array_equal(sim_tomb, per_tomb)
+        assert sim.disk.counters == per.disk.counters
+        per.destroy()
+
+    def test_scan_versions_match_across_backends(self, tuning, tmp_path):
+        sim, per = _persistent_pair(tuning, tmp_path)
+        load = np.arange(0, 20_000, 5)
+        sim.bulk_load(load)
+        per.bulk_load(load)
+        for tree in (sim, per):
+            for key in range(100, 400, 5):
+                tree.delete(key)
+            for key in range(1_000, 1_300, 3):
+                tree.put(key)
+        for interval in [(0, 2_000), (150, 150), (99_000, 99_500), (395, 1_001)]:
+            sim_keys, sim_tombs = sim.scan_versions(*interval)
+            per_keys, per_tombs = per.scan_versions(*interval)
+            assert np.array_equal(sim_keys, per_keys)
+            assert np.array_equal(sim_tombs, per_tombs)
+        assert sim.disk.counters == per.disk.counters
+        per.destroy()
+
+    def test_reopen_recovers_answers_and_shape(self, tuning, tmp_path):
+        """Close + reopen (clean restart) preserves the whole tree state:
+        installed runs via the manifest, buffered writes via WAL replay."""
+        sim, per = _persistent_pair(tuning, tmp_path)
+        load = np.arange(0, 25_000, 9)
+        sim.bulk_load(load)
+        per.bulk_load(load)
+        trace = _mixed_trace(seed=31)
+        _drive(sim, trace)
+        _drive(per, trace)
+        stats_before = per.stats()
+        per.close()
+        reopened = PersistentLSMTree(
+            per.tuning, _SYSTEM, data_dir=tmp_path / "db", disk=VirtualDisk(), seed=3
+        )
+        assert reopened.stats() == stats_before
+        probe = np.arange(0, 60_000, 17)
+        sim_found, sim_tomb = sim.lookup_entries(probe)
+        re_found, re_tomb = reopened.lookup_entries(probe)
+        assert np.array_equal(sim_found, re_found)
+        assert np.array_equal(sim_tomb, re_tomb)
+        reopened.destroy()
+
+
+class _FlushCrash(RuntimeError):
+    """Injected failure standing in for a process kill."""
+
+
+class _CrashingTree(PersistentLSMTree):
+    """Persistent tree whose next manifest sync can be made to fail."""
+
+    crash_next_sync = False
+
+    def _sync_manifest(self) -> None:
+        if self.crash_next_sync:
+            self.crash_next_sync = False
+            raise _FlushCrash("killed between SSTable writes and manifest swap")
+        super()._sync_manifest()
+
+
+class TestCrashRecovery:
+    """Recovery from crashes at every point of the flush sequence."""
+
+    _TUNING = LSMTuning(5.0, 5.0, Policy.TIERING)
+
+    def _filled_tree(self, tmp_path, cls=PersistentLSMTree):
+        tree = cls(
+            self._TUNING, _SYSTEM, data_dir=tmp_path / "db",
+            disk=VirtualDisk(), seed=3,
+        )
+        tree.bulk_load(np.arange(0, 20_000, 11))
+        return tree
+
+    def _reference_tree(self, writes):
+        sim = LSMTree(self._TUNING, _SYSTEM, disk=VirtualDisk(), seed=3)
+        sim.bulk_load(np.arange(0, 20_000, 11))
+        for key in writes:
+            sim.put(key)
+        return sim
+
+    def test_crash_before_any_flush_replays_the_wal(self, tmp_path):
+        tree = self._filled_tree(tmp_path)
+        writes = list(range(50_000, 50_000 + tree.buffer_entries // 2))
+        for key in writes:
+            tree.put(key)
+        assert tree.memtable.is_empty is False
+        tree.simulate_crash()
+        recovered = self._filled_tree(tmp_path)
+        assert recovered.stats().memtable_entries == len(writes)
+        assert all(recovered.get(key) for key in writes)
+        recovered.destroy()
+
+    def test_crash_mid_flush_loses_no_acknowledged_write(self, tmp_path):
+        """A crash after the flush wrote its SSTables but before the manifest
+        swap: the old manifest plus the intact WAL reproduce every
+        acknowledged write, and the stranded files are swept as orphans."""
+        tree = self._filled_tree(tmp_path, cls=_CrashingTree)
+        writes = []
+        key = 50_000
+        # Fill to one below the flush trigger, then let the next put crash
+        # mid-flush (the WAL append of that put lands before the flush).
+        while len(tree.memtable) < tree.buffer_entries - 1:
+            tree.put(key)
+            writes.append(key)
+            key += 1
+        tree.crash_next_sync = True
+        with pytest.raises(_FlushCrash):
+            tree.put(key)
+        writes.append(key)
+        tree.simulate_crash()
+
+        recovered = self._filled_tree(tmp_path)
+        # The crashed flush rolled back: every write is back in the memtable.
+        assert recovered.stats().memtable_entries == len(writes)
+        # Stranded SSTables (the flushed run, any compaction outputs) were
+        # swept: on-disk files are exactly the manifest's runs.
+        on_disk = {p.name for p in (tmp_path / "db").glob("run-*.sst")}
+        referenced = {
+            run.path.name for runs in recovered.levels for run in runs
+        }
+        assert on_disk == referenced
+        # Liveness answers equal a reference that saw every write.
+        reference = self._reference_tree(writes)
+        probe = np.r_[np.arange(0, 22_000, 7), np.array(writes)]
+        ref_found, ref_tomb = reference.lookup_entries(probe)
+        rec_found, rec_tomb = recovered.lookup_entries(probe)
+        assert np.array_equal(ref_found & ~ref_tomb, rec_found & ~rec_tomb)
+        recovered.destroy()
+
+    def test_crash_between_manifest_swap_and_wal_reset(self, tmp_path):
+        """A crash after the manifest swap but before the WAL truncation:
+        replaying the stale WAL re-applies flushed writes, which newest-wins
+        reads absorb — no answer changes, nothing is lost."""
+        tree = self._filled_tree(tmp_path)
+        real_reset = WriteAheadLog.reset
+        writes = []
+        key = 50_000
+        try:
+            WriteAheadLog.reset = lambda self: (_ for _ in ()).throw(
+                _FlushCrash("killed before WAL truncation")
+            )
+            with pytest.raises(_FlushCrash):
+                while True:
+                    tree.put(key)
+                    writes.append(key)
+                    key += 1
+        finally:
+            WriteAheadLog.reset = real_reset
+        tree.simulate_crash()
+
+        recovered = self._filled_tree(tmp_path)
+        reference = self._reference_tree(writes)
+        probe = np.r_[np.arange(0, 22_000, 7), np.array(writes)]
+        ref_found, ref_tomb = reference.lookup_entries(probe)
+        rec_found, rec_tomb = recovered.lookup_entries(probe)
+        assert np.array_equal(ref_found & ~ref_tomb, rec_found & ~rec_tomb)
+        recovered.destroy()
+
+
+class TestWriteAheadLog:
+    def test_round_trip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append(7)
+        wal.append(-3, tombstone=True)
+        wal.append(2**40)
+        assert wal.replay() == [(7, False), (-3, True), (2**40, False)]
+        assert wal.num_records == 3
+        wal.reset()
+        assert wal.replay() == []
+        wal.close()
+
+    def test_torn_trailing_record_is_dropped(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append(1)
+        wal.append(2)
+        wal.close()
+        data = path.read_bytes()
+        path.write_bytes(data[:-4])  # tear the last record mid-write
+        torn = WriteAheadLog(path)
+        assert torn.replay() == [(1, False)]
+        torn.close()
+
+    def test_sync_mode_appends_survive(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log", sync=True)
+        wal.append(5, tombstone=True)
+        assert wal.replay() == [(5, True)]
+        wal.close()
+
+
+class TestSSTable:
+    """The on-disk table answers exactly like an in-memory sorted run."""
+
+    def _pair(self, tmp_path, keys, tombstones=None, bits=5.0, seed=9):
+        keys = np.asarray(keys, dtype=np.int64)
+        if tombstones is None:
+            tombstones = np.zeros(keys.size, dtype=bool)
+        run = SortedRun(
+            keys, entries_per_page=4, bits_per_entry=bits,
+            tombstones=tombstones, seed=seed,
+        )
+        table = SSTable.create(
+            tmp_path / "t.sst", keys, tombstones,
+            entries_per_page=4, bits_per_entry=bits, seed=seed,
+        )
+        return run, table
+
+    def test_lookup_parity_including_page_charges(self, tmp_path):
+        keys = np.arange(0, 1_000, 3)
+        tombs = (keys % 30) == 0
+        run, table = self._pair(tmp_path, keys, tombs)
+        for key in range(-5, 1_010):
+            assert run.lookup(key) == table.lookup(key)
+        table.close()
+
+    def test_lookup_many_parity(self, tmp_path):
+        keys = np.arange(0, 2_000, 7)
+        tombs = (keys % 70) == 0
+        run, table = self._pair(tmp_path, keys, tombs)
+        probe = np.r_[keys[::5], np.arange(1, 500, 2), keys[:3], keys[:3]]
+        run_f, run_t, run_pages = run.lookup_many(probe)
+        tab_f, tab_t, tab_pages = table.lookup_many(probe)
+        assert np.array_equal(run_f, tab_f)
+        assert np.array_equal(run_t, tab_t)
+        assert run_pages == tab_pages
+        table.close()
+
+    def test_scan_parity_over_every_interval_shape(self, tmp_path):
+        keys = np.arange(0, 400, 5)
+        tombs = (keys % 20) == 0
+        run, table = self._pair(tmp_path, keys, tombs)
+        intervals = [
+            (0, 399), (-50, -1), (401, 900), (3, 4), (100, 100),
+            (101, 104), (0, 0), (395, 395), (17, 230),
+        ]
+        for start, end in intervals:
+            assert run.range_span(start, end) == table.range_span(start, end)
+            run_scan = run.scan_entries(start, end)
+            tab_scan = table.scan_entries(start, end)
+            assert np.array_equal(run_scan[0], tab_scan[0])
+            assert np.array_equal(run_scan[1], tab_scan[1])
+            assert run_scan[2] == tab_scan[2]
+        table.close()
+
+    def test_open_round_trips_all_state(self, tmp_path):
+        keys = np.arange(0, 300, 2)
+        tombs = (keys % 10) == 0
+        _, table = self._pair(tmp_path, keys, tombs)
+        table.close()
+        reopened = SSTable.open(tmp_path / "t.sst")
+        assert reopened.num_entries == keys.size
+        assert reopened.num_pages == table.num_pages
+        assert np.array_equal(reopened.keys, keys)
+        assert np.array_equal(reopened.tombstones, tombs)
+        # The rebuilt Bloom filter answers bit-identically.
+        probe = np.arange(-100, 400).astype(np.uint64)
+        assert np.array_equal(
+            table.bloom_filter.might_contain_many(probe),
+            reopened.bloom_filter.might_contain_many(probe),
+        )
+        reopened.close()
+
+    def test_empty_table(self, tmp_path):
+        run, table = self._pair(tmp_path, np.empty(0, dtype=np.int64))
+        assert table.num_pages == 0
+        assert table.lookup(5) == (False, False, 0)
+        assert table.range_span(0, 10).num_pages == 0
+        with pytest.raises(ValueError):
+            table.min_key
+        table.close()
+
+    def test_open_rejects_truncated_data_file(self, tmp_path):
+        keys = np.arange(0, 100, 2)
+        _, table = self._pair(tmp_path, keys)
+        table.close()
+        path = tmp_path / "t.sst"
+        path.write_bytes(path.read_bytes()[:-9])
+        with pytest.raises(ValueError, match="index sidecar"):
+            SSTable.open(path)
+
+    def test_delete_files_removes_sidecars(self, tmp_path):
+        _, table = self._pair(tmp_path, np.arange(0, 40))
+        table.delete_files()
+        assert not (tmp_path / "t.sst").exists()
+        assert not index_sidecar_path(tmp_path / "t.sst").exists()
+        assert not filter_sidecar_path(tmp_path / "t.sst").exists()
+
+
+class TestPersistentHousekeeping:
+    _TUNING = LSMTuning(5.0, 5.0, Policy.LEVELING)
+
+    def test_compaction_deletes_superseded_files(self, tmp_path):
+        """After a flush's manifest sync, on-disk files are exactly the
+        live runs — compaction inputs do not accumulate."""
+        tree = PersistentLSMTree(
+            self._TUNING, _SYSTEM, data_dir=tmp_path / "db",
+            disk=VirtualDisk(), seed=3,
+        )
+        for key in range(6 * tree.buffer_entries):
+            tree.put(key)
+        live = {run.path.name for runs in tree.levels for run in runs}
+        on_disk = {p.name for p in (tmp_path / "db").glob("run-*.sst")}
+        assert on_disk == live
+        # Sidecars track their data files one to one.
+        npz_count = len(list((tmp_path / "db").glob("run-*.npz")))
+        assert npz_count == 2 * len(live)
+        tree.destroy()
+        assert not (tmp_path / "db").exists()
+
+    def test_compaction_disabled_stacks_runs(self, tmp_path):
+        tree = PersistentLSMTree(
+            self._TUNING, _SYSTEM, data_dir=tmp_path / "db",
+            disk=VirtualDisk(), seed=3,
+        )
+        tree.compaction_enabled = False
+        for key in range(4 * tree.buffer_entries):
+            tree.put(key)
+        assert len(tree.levels[0]) >= 4
+        assert tree.disk.counters.compaction_reads == 0
+        # Reads stay correct: newest-wins consolidation is structural.
+        assert tree.get(1)
+        assert not tree.get(4 * tree.buffer_entries + 5)
+        tree.destroy()
+
+    def test_sync_writes_mode_round_trips(self, tmp_path):
+        tree = PersistentLSMTree(
+            self._TUNING, _SYSTEM, data_dir=tmp_path / "db",
+            disk=VirtualDisk(), seed=3, sync_writes=True,
+        )
+        tree.put(42)
+        tree.delete(7)
+        tree.simulate_crash()
+        recovered = PersistentLSMTree(
+            self._TUNING, _SYSTEM, data_dir=tmp_path / "db",
+            disk=VirtualDisk(), seed=3,
+        )
+        assert recovered.get(42)
+        assert recovered.memtable.get(7) == (True, True)
+        recovered.destroy()
+
+
+class TestExecutorIntegration:
+    def test_persistent_backend_measurements_match_simulated(
+        self, session_generator, w11
+    ):
+        """The measurement harness reports byte-identical numbers on both
+        backends — the persistent substrate changes wall-clock time only."""
+        from repro.storage import ExecutorConfig, WorkloadExecutor
+
+        system = simulator_system(num_entries=2_000)
+        sequence = session_generator.paper_sequence(w11, workloads_per_session=1)
+        tuning = LSMTuning(5.0, 5.0, Policy.LEVELING)
+        results = {}
+        for backend in ("simulated", "persistent"):
+            executor = WorkloadExecutor(
+                system,
+                ExecutorConfig(queries_per_workload=150, seed=5, backend=backend),
+            )
+            results[backend] = executor.run_sequence(tuning, sequence)
+        assert results["simulated"] == results["persistent"]
+
+    def test_persistent_trees_are_disposed_after_a_sequence(
+        self, session_generator, w11, tmp_path
+    ):
+        from repro.storage import ExecutorConfig, WorkloadExecutor
+
+        system = simulator_system(num_entries=2_000)
+        sequence = session_generator.paper_sequence(w11, workloads_per_session=1)
+        executor = WorkloadExecutor(
+            system,
+            ExecutorConfig(
+                queries_per_workload=100, seed=5,
+                backend="persistent", data_dir=str(tmp_path / "trees"),
+            ),
+        )
+        executor.run_sequence(LSMTuning(5.0, 5.0, Policy.LEVELING), sequence)
+        # A user-chosen data dir keeps the closed tree for inspection.
+        kept = list((tmp_path / "trees").glob("tree-*"))
+        assert len(kept) == 1
+        assert (kept[0] / "MANIFEST.json").exists()
+
+    def test_executor_config_rejects_unknown_backend(self):
+        from repro.storage import ExecutorConfig
+
+        with pytest.raises(ValueError, match="backend"):
+            ExecutorConfig(backend="rocksdb")
+
+    def test_adaptive_migration_stays_persistent(self, tmp_path):
+        """The online controller's replacement trees come from the live
+        tree's ``successor`` factory: a persistent tree migrates to another
+        persistent tree, and the superseded directory is deleted."""
+        tree = PersistentLSMTree(
+            LSMTuning(5.0, 5.0, Policy.LEVELING), _SYSTEM,
+            data_dir=tmp_path / "db", disk=VirtualDisk(), seed=3,
+        )
+        replacement = tree.successor(
+            LSMTuning(4.0, 4.0, Policy.TIERING), seed=17
+        )
+        assert isinstance(replacement, PersistentLSMTree)
+        assert replacement.data_dir != tree.data_dir
+        assert replacement.data_dir.parent == tree.data_dir.parent
+        replaced_dir = tree.data_dir
+        tree.dispose()
+        assert not replaced_dir.exists()
+        replacement.destroy()

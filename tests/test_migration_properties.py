@@ -311,3 +311,63 @@ class TestInterruptibility:
         assert delta.compaction_reads == source.resident_pages
         assert not target.preserve_tombstones
         assert not source.preserve_tombstones
+
+
+class TestMixedStateScanEdges:
+    """scan_versions edge shapes observed *through* a paused migration: point
+    intervals, intervals overlapping no run on either side, and tombstones
+    interleaved between the frozen source and the live target."""
+
+    def _paused_plan(self):
+        source = _loaded_tree(LSMTuning(10.0, 8.0, Policy.LEVELING))
+        plan, checkpoint = _plan(source, LSMTuning(4.0, 6.0, Policy.TIERING), 8)
+        for _ in range(plan.num_steps // 3):
+            plan.run_next_step()
+        assert not plan.completed
+        return plan, checkpoint
+
+    def test_point_interval_tracks_mid_plan_writes(self):
+        plan, checkpoint = self._paused_plan()
+        victim = int(checkpoint[checkpoint.size // 2])
+        fresh = int(checkpoint[-1]) + 1_000
+        assert plan.range_query(victim, victim) == 1
+        assert plan.range_query(fresh, fresh) == 0
+        plan.delete(victim)  # target tombstone must shadow the source copy
+        plan.put(fresh)
+        assert plan.range_query(victim, victim) == 0
+        assert plan.range_query(fresh, fresh) == 1
+
+    def test_delete_then_reput_reads_live_through_point_interval(self):
+        plan, checkpoint = self._paused_plan()
+        victim = int(checkpoint[checkpoint.size // 4])
+        plan.delete(victim)
+        plan.put(victim)  # newest version wins over its own tombstone
+        assert plan.range_query(victim, victim) == 1
+
+    def test_interval_overlapping_neither_tree_is_empty(self):
+        plan, checkpoint = self._paused_plan()
+        beyond = int(checkpoint[-1]) + 10_000
+        plan.source.disk.reset()
+        assert plan.range_query(beyond, beyond + 500) == 0
+        assert plan.source.disk.counters.total == 0
+
+    def test_interleaved_tombstones_across_source_and_target(self):
+        """A window where some keys are live only in the source, some are
+        tombstoned in the target, and some were re-put after deletion — the
+        count is the newest-wins union, each key counted at most once."""
+        plan, checkpoint = self._paused_plan()
+        mid = checkpoint.size // 2
+        window = checkpoint[mid : mid + 20]
+        start, end = int(window[0]), int(window[-1])
+        expected = int(
+            np.count_nonzero((checkpoint >= start) & (checkpoint <= end))
+        )
+        deleted = [int(window[1]), int(window[5]), int(window[9])]
+        for key in deleted:
+            plan.delete(key)
+        plan.put(deleted[0])  # resurrect one: delete → re-put ends live
+        assert plan.range_query(start, end) == expected - 2
+        # And the survivors answer point lookups consistently with the scan.
+        assert plan.get(deleted[0])
+        assert not plan.get(deleted[1])
+        assert not plan.get(deleted[2])

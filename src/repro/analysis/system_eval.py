@@ -180,6 +180,45 @@ class SystemExperiment:
         tunings = self.tunings_for(expected, rho)
         return self._compare(expected, rho, sequence, tunings)
 
+    def run_sharded(
+        self,
+        expected: Workload,
+        rho: float,
+        include_writes: bool = True,
+        workloads_per_session: int = 2,
+        parallel: bool = False,
+    ):
+        """The :meth:`run` comparison served by a hash-partitioned shard fleet.
+
+        Shard count (and per-shard data dirs for the persistent backend)
+        come from ``executor_config``; the merged fleet measurements read
+        like :meth:`run`'s and collapse to them exactly at ``num_shards=1``.
+        Returns a :class:`~repro.serving.executor.ShardedComparison`.
+        """
+        # Imported here: analysis stays importable without the serving layer.
+        from ..serving import ShardedComparison, ShardedExecutor
+
+        generator = SessionGenerator(self.benchmark, seed=self.seed)
+        sequence = generator.paper_sequence(
+            expected,
+            include_writes=include_writes,
+            workloads_per_session=workloads_per_session,
+        )
+        if expected.long_range_fraction > 0.0:
+            sequence = sequence.with_long_range_fraction(
+                expected.long_range_fraction
+            )
+        tunings = self.tunings_for(expected, rho)
+        sharded = ShardedExecutor(self.system, self.executor_config)
+        measurements = sharded.compare(tunings, sequence, parallel=parallel)
+        return ShardedComparison(
+            expected=expected,
+            rho=rho,
+            num_shards=self.executor_config.num_shards,
+            tunings=tunings,
+            measurements=measurements,
+        )
+
     def run_motivation(
         self,
         expected: Workload,

@@ -46,8 +46,10 @@ from .core.nominal import NominalTuner
 from .core.robust import RobustTuner
 from .lsm.policy import ALL_POLICIES, CLASSIC_POLICIES, Policy, PolicySpec
 from .lsm.system import SystemConfig, simulator_system
+from .online.admission import ADMISSION_MODES
 from .online.controller import MIGRATION_MODES, OnlineConfig
 from .online.retuner import RETUNING_MODES
+from .serving import format_sharded_comparison
 from .storage.executor import ExecutorConfig
 from .workloads.benchmark import expected_workloads
 from .workloads.sessions import SessionType
@@ -240,6 +242,10 @@ def _executor_config(args: argparse.Namespace, **overrides) -> ExecutorConfig:
         config.data_dir = args.data_dir
     if getattr(args, "sync_writes", False):
         config.sync_writes = True
+    if getattr(args, "num_shards", None) is not None:
+        config.num_shards = args.num_shards
+    if getattr(args, "admission", None) is not None:
+        config.admission = args.admission
     return config
 
 
@@ -291,6 +297,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         policies=_policies_from_arg(args.policy),
         **({"seed": args.seed} if args.seed is not None else {}),
     )
+    if args.num_shards > 1:
+        comparison = experiment.run_sharded(expected, rho=args.rho)
+        if args.json:
+            print(json.dumps(comparison.to_dict(), indent=2))
+        else:
+            print(format_sharded_comparison(comparison))
+        return 0
     comparison = experiment.run(expected, rho=args.rho)
     if args.json:
         print(json.dumps(comparison.to_dict(), indent=2))
@@ -319,6 +332,10 @@ def _cmd_online(args: argparse.Namespace) -> int:
         migration=args.migration,
         migration_step_ops=args.migration_step_ops,
         migration_step_pages=args.migration_step_pages,
+        admission=args.admission,
+        admission_max_backlog=args.admission_max_backlog,
+        admission_starvation_ops=args.admission_starvation_ops,
+        admission_idle_steps=args.admission_idle_steps,
         rho_adaptive=args.rho_adaptive,
         volatility_gain=args.volatility_gain,
         k_vector_search=args.k_vector_search,
@@ -475,6 +492,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fsync the persistent backend's write-ahead log on every write",
     )
+    compare.add_argument(
+        "--num-shards",
+        type=_positive_int,
+        default=1,
+        help="serve the comparison from a hash-partitioned shard fleet "
+        "(one tree per shard, range scans fanned out; merged fleet "
+        "measurements plus p50/p95/worst-shard percentiles)",
+    )
     _add_update_flags(compare)
     compare.add_argument(
         "--seed",
@@ -591,6 +616,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="page cap per incremental migration step "
         "(default: one run per step)",
+    )
+    online.add_argument(
+        "--admission",
+        choices=ADMISSION_MODES,
+        default="fixed",
+        help="incremental migration-step admission: 'fixed' paces one step "
+        "every --migration-step-ops operations, 'queue-depth' defers steps "
+        "while the serving backlog is deep and drains them in idle gaps",
+    )
+    online.add_argument(
+        "--admission-max-backlog",
+        type=_non_negative_int,
+        default=256,
+        help="backlog (queued operations) at or below which a due step is "
+        "admitted under queue-depth admission",
+    )
+    online.add_argument(
+        "--admission-starvation-ops",
+        type=_positive_int,
+        default=4_096,
+        help="operations after which a migration step is forced regardless "
+        "of backlog (queue-depth admission starvation bound)",
+    )
+    online.add_argument(
+        "--admission-idle-steps",
+        type=_non_negative_int,
+        default=8,
+        help="migration steps drained per inter-session idle gap under "
+        "queue-depth admission",
     )
     online.add_argument(
         "--rho-adaptive",

@@ -16,6 +16,7 @@ expected workload; this subsystem closes the loop at run time:
   the migration's I/O to the same virtual disk the measurements read.
 """
 
+from .admission import ADMISSION_MODES, StepAdmission
 from .controller import (
     MIGRATION_MODES,
     OnlineConfig,
@@ -28,6 +29,7 @@ from .observed import ObservedWorkload
 from .retuner import AdaptiveTuner, RetuningDecision
 
 __all__ = [
+    "ADMISSION_MODES",
     "AdaptiveTuner",
     "DriftCheck",
     "DriftDetector",
@@ -40,4 +42,5 @@ __all__ = [
     "OnlineLSMController",
     "RetuningDecision",
     "RetuningEvent",
+    "StepAdmission",
 ]

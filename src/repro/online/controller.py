@@ -44,6 +44,7 @@ from ..storage.lsm_tree import POINT_READ_KINDS, SCALAR_SPAN_CUTOFF, LSMTree
 from ..storage.run import consolidate_versions
 from ..workloads.traces import Operation
 from ..workloads.workload import Workload
+from .admission import StepAdmission
 from .drift import DriftDetector
 from .migration import MigrationPlan
 from .observed import ObservedWorkload
@@ -109,6 +110,21 @@ class OnlineConfig:
     #: re-tuner).  Vector proposals migrate like any other tuning — the
     #: decision serialises the vector and the migration plan deploys it.
     k_vector_search: bool = False
+    #: How incremental migration steps are admitted against the stream:
+    #: ``"fixed"`` runs one step every ``migration_step_ops`` operations
+    #: (the classic cadence), ``"queue-depth"`` defers due steps while the
+    #: serving backlog is deeper than ``admission_max_backlog`` and drains
+    #: deferred steps during idle periods (see
+    #: :class:`~repro.online.admission.StepAdmission`).
+    admission: str = "fixed"
+    #: Backlog at or below which a due step is admitted (``"queue-depth"``).
+    admission_max_backlog: int = 256
+    #: Operations after which a step is forced regardless of backlog
+    #: (``"queue-depth"`` starvation bound; must be ≥ ``migration_step_ops``).
+    admission_starvation_ops: int = 4_096
+    #: Steps drained per :meth:`OnlineLSMController.note_idle` call
+    #: (``"queue-depth"``; ``"fixed"`` ignores idle notifications).
+    admission_idle_steps: int = 8
 
     def __post_init__(self) -> None:
         if self.check_interval <= 0:
@@ -130,6 +146,19 @@ class OnlineConfig:
                 "rho_adaptive requires mode='robust': nominal re-tunings have "
                 "no radius to widen"
             )
+        # Constructing the admission policy validates the admission knobs
+        # (mode membership, starvation ≥ step cadence, non-negative bounds).
+        self.step_admission()
+
+    def step_admission(self) -> StepAdmission:
+        """The migration-step admission policy these knobs describe."""
+        return StepAdmission(
+            mode=self.admission,
+            step_ops=self.migration_step_ops,
+            max_backlog=self.admission_max_backlog,
+            starvation_ops=self.admission_starvation_ops,
+            idle_step_burst=self.admission_idle_steps,
+        )
 
     @property
     def drift_threshold(self) -> float:
@@ -232,10 +261,13 @@ class OnlineLSMController:
             rho_cap=self.config.rho_cap,
             k_vector_search=self.config.k_vector_search,
         )
+        self.admission = self.config.step_admission()
         self.position = 0
         self.events: list[RetuningEvent] = []
         self._plan: MigrationPlan | None = None
         self._plan_started = 0
+        self._last_step_position = 0
+        self._backlog = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -287,38 +319,74 @@ class OnlineLSMController:
             self.tree.apply(operation)
         self.estimator.record_kind(operation.kind)
         self.position += 1
+        if self._backlog > 0:
+            self._backlog -= 1
         if self._plan is not None:
-            if (self.position - self._plan_started) % self.config.migration_step_ops == 0:
+            if self.admission.should_step(
+                self.position, self._plan_started, self._last_step_position,
+                self._backlog,
+            ):
                 self.advance_migration()
         elif self.position % self.config.check_interval == 0:
             self.maybe_retune()
 
     def execute(self, operations: Iterable[Operation]) -> None:
-        """Execute a stream of operations through the adaptive loop."""
+        """Execute a stream of operations through the adaptive loop.
+
+        The length of the stream seeds the serving backlog the admission
+        policy observes: under ``admission="queue-depth"`` migration steps
+        that fall due while the chunk is still deep are deferred until it has
+        drained to ``admission_max_backlog`` (or the starvation bound).
+        """
+        operations = (
+            operations if isinstance(operations, list) else list(operations)
+        )
+        self._backlog = len(operations)
         for operation in operations:
             self.apply(operation)
+        self._backlog = 0
+
+    def note_idle(self) -> None:
+        """Signal a serving lull: drain deferred migration steps.
+
+        Under ``admission="queue-depth"`` an idle shard runs up to
+        ``admission_idle_steps`` steps of its in-flight plan immediately —
+        reorganisation I/O lands in the lull instead of the next busy window.
+        Under ``admission="fixed"`` this is a no-op, preserving the classic
+        cadence bit-for-bit.
+        """
+        self._backlog = 0
+        for _ in range(self.admission.idle_steps):
+            if self._plan is None:
+                break
+            self.advance_migration()
 
     def _ops_until_boundary(self) -> int:
         """Operations until the next adaptive-loop boundary (at least 1).
 
-        While a migration plan is in flight the boundary is its next step
-        (``migration_step_ops`` past the plan's start phase); otherwise it is
-        the next drift check (``check_interval``).  A batched GET span must
-        not cross either: the drift detector and the plan have to observe the
-        stream at exactly the per-operation granularity of :meth:`apply`.
+        While a migration plan is in flight the boundary is its next admitted
+        step (the admission policy's closed-form
+        :meth:`~repro.online.admission.StepAdmission.ops_until_step`);
+        otherwise it is the next drift check (``check_interval``).  A batched
+        GET span must not cross either: the drift detector and the plan have
+        to observe the stream at exactly the per-operation granularity of
+        :meth:`apply`.
         """
         if self._plan is not None:
-            interval = self.config.migration_step_ops
-            elapsed = (self.position - self._plan_started) % interval
-        else:
-            interval = self.config.check_interval
-            elapsed = self.position % interval
-        return interval - elapsed
+            return self.admission.ops_until_step(
+                self.position, self._plan_started, self._last_step_position,
+                self._backlog,
+            )
+        interval = self.config.check_interval
+        return interval - self.position % interval
 
     def _after_batch(self) -> None:
         """Run the boundary work :meth:`apply` would have run, if due."""
         if self._plan is not None:
-            if (self.position - self._plan_started) % self.config.migration_step_ops == 0:
+            if self.admission.should_step(
+                self.position, self._plan_started, self._last_step_position,
+                self._backlog,
+            ):
                 self.advance_migration()
         elif self.position % self.config.check_interval == 0:
             self.maybe_retune()
@@ -344,6 +412,7 @@ class OnlineLSMController:
         )
         index = 0
         total = len(operations)
+        self._backlog = total
         while index < total:
             operation = operations[index]
             if operation.kind not in POINT_READ_KINDS:
@@ -366,8 +435,10 @@ class OnlineLSMController:
             for op in span:
                 self.estimator.record_kind(op.kind)
             self.position += len(span)
+            self._backlog = max(0, self._backlog - len(span))
             index = end
             self._after_batch()
+        self._backlog = 0
 
     # ------------------------------------------------------------------
     # Adaptive loop
@@ -521,6 +592,7 @@ class OnlineLSMController:
         totals = (plan.total_read_pages, plan.total_write_pages, plan.num_steps)
         self._plan = plan
         self._plan_started = self.position
+        self._last_step_position = self.position
         plan.run_next_step()
         self._maybe_finish_migration()
         return totals
@@ -529,6 +601,7 @@ class OnlineLSMController:
         """Run the next step of the active plan (no-op without one)."""
         if self._plan is None:
             return
+        self._last_step_position = self.position
         self._plan.run_next_step()
         self._maybe_finish_migration()
 

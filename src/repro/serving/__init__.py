@@ -1,0 +1,48 @@
+"""Shard-per-worker serving layer over the LSM measurement harness.
+
+Production Endure serves live traffic from many shards while each shard's
+tuner adapts independently; this package reproduces that deployment shape on
+top of the existing single-tree executor:
+
+* :mod:`~repro.serving.sharding` hash-partitions the int64 key space with a
+  splitmix64-style mixer and routes operation streams: point operations go
+  to their key's owner shard, range scans fan out to every shard (a hash
+  partition scatters key intervals).
+* :mod:`~repro.serving.replay` is the per-shard serving loop — it coalesces
+  GET spans across interleaved range scans (reads commute: only writes are
+  reordering barriers), so a shard replays its stream through fewer, longer
+  ``get_many`` batches with bit-identical I/O accounting.
+* :class:`~repro.serving.executor.ShardedExecutor` builds one tree (or one
+  :class:`~repro.online.controller.OnlineLSMController`) per shard — each
+  persistent shard in its own data dir — replays the sequence per shard,
+  and merges per-shard :class:`~repro.storage.disk.VirtualDisk` counters
+  into global session measurements plus fleet-style percentiles
+  (p50/p95/worst shard).
+
+With ``num_shards=1`` every measurement is bit-identical to the classic
+:class:`~repro.storage.executor.WorkloadExecutor` — pinned by test.
+"""
+
+from .executor import (
+    ShardedComparison,
+    ShardedExecutor,
+    ShardedSequenceMeasurement,
+    ShardRun,
+    fleet_percentiles,
+)
+from .replay import execute_serving_batched
+from .report import format_sharded_comparison
+from .sharding import partition_keys, shard_ids, shard_operations
+
+__all__ = [
+    "ShardRun",
+    "ShardedComparison",
+    "ShardedExecutor",
+    "ShardedSequenceMeasurement",
+    "execute_serving_batched",
+    "fleet_percentiles",
+    "format_sharded_comparison",
+    "partition_keys",
+    "shard_ids",
+    "shard_operations",
+]

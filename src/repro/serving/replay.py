@@ -1,0 +1,65 @@
+"""The per-shard serving loop: GET-span coalescing across range scans.
+
+The core batched replay (:func:`~repro.storage.lsm_tree.
+execute_operations_batched`) breaks a vectorised GET span at *every*
+non-point operation.  That is the right conservatism for a generic engine,
+but for serving replay it is stricter than necessary: point reads and range
+scans both leave the tree untouched, so reads commute — only a write
+(``PUT``) actually fences the stream.  After sharding this matters a lot:
+range scans fan out to every shard, so a shard's sub-stream sees *more*
+range operations per point read than the global stream, and the core loop
+would fragment its GET spans into slivers.
+
+:func:`execute_serving_batched` therefore carries the pending GET span
+*across* range scans (serving each scan scalar, in stream position) and
+flushes only at writes, at the span-size cap, and at stream end.  Counter
+totals and final tree state are bit-identical to the scalar replay: every
+operation still executes, against identical tree state (reads don't change
+it), with the same per-probe I/O charging ``get_many`` documents.  Only the
+interleaving *order* of read I/O inside a write-free window shifts, which
+no measurement observes — sessions measure counter deltas, not orderings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.lsm_tree import (
+    POINT_READ_KINDS,
+    SCALAR_SPAN_CUTOFF,
+    LSMTree,
+)
+from ..workloads.traces import Operation, OperationType
+
+
+def execute_serving_batched(
+    tree: LSMTree, operations: list[Operation], max_batch_ops: int = 4_096
+) -> None:
+    """Replay one shard's sub-stream, coalescing GET spans across scans."""
+    if max_batch_ops <= 0:
+        raise ValueError("max_batch_ops must be positive")
+    pending: list[int] = []
+
+    def flush() -> None:
+        if not pending:
+            return
+        if len(pending) < SCALAR_SPAN_CUTOFF:
+            for key in pending:
+                tree.get(key)
+        else:
+            tree.get_many(np.asarray(pending, dtype=np.int64))
+        pending.clear()
+
+    for op in operations:
+        if op.kind in POINT_READ_KINDS:
+            pending.append(op.key)
+            if len(pending) >= max_batch_ops:
+                flush()
+        elif op.kind is OperationType.RANGE:
+            # Reads commute: the scan runs now (stream order), the pending
+            # GET span keeps growing past it.
+            tree.apply(op)
+        else:
+            flush()
+            tree.apply(op)
+    flush()

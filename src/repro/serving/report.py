@@ -1,0 +1,50 @@
+"""Text rendering of sharded serving results (the CLI's table)."""
+
+from __future__ import annotations
+
+from .executor import ShardedComparison
+
+
+def format_sharded_comparison(comparison: ShardedComparison) -> str:
+    """Render a :class:`~repro.serving.executor.ShardedComparison` table.
+
+    Mirrors the unsharded ``format_comparison`` layout: one row per session
+    with the merged fleet I/Os and latency per tuning, then a fleet footer
+    per tuning — per-shard I/O percentiles and the two wall-clock views
+    (critical path = slowest shard, harness total = summed shard seconds).
+    """
+    names = list(comparison.measurements)
+    lines = [
+        f"expected workload: {comparison.expected.describe()}"
+        f"  rho={comparison.rho:g}  shards={comparison.num_shards}"
+    ]
+    for name in names:
+        lines.append(f"  {name + ':':<9}{comparison.tunings[name].describe()}")
+    header = f"  {'session':<16}"
+    for name in names:
+        header += f"{'io ' + name[:5]:>10}"
+    for name in names:
+        header += f"{'lat ' + name[:5] + '(us)':>15}"
+    lines.append(header)
+    first = comparison.measurements[names[0]]
+    for index in range(len(first.sessions)):
+        row = f"  {first.sessions[index].label:<16}"
+        for name in names:
+            session = comparison.measurements[name].sessions[index]
+            row += f"{session.ios_per_query:>10.2f}"
+        for name in names:
+            session = comparison.measurements[name].sessions[index]
+            row += f"{session.latency_us_per_query:>15.1f}"
+        lines.append(row)
+    for name in names:
+        measurement = comparison.measurements[name]
+        pct = measurement.shard_ios_percentiles()
+        lines.append(
+            f"  {name}: fleet io/q p50={pct['p50']:.2f} p95={pct['p95']:.2f}"
+            f" worst={pct['worst']:.2f}  mean={measurement.average_ios_per_query:.2f}"
+        )
+        lines.append(
+            f"  {name}: wall-clock critical-path={measurement.critical_path_s:.3f}s"
+            f" harness-total={measurement.total_cpu_s:.3f}s"
+        )
+    return "\n".join(lines)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
 import tempfile
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -193,6 +194,18 @@ class ExecutorConfig:
     #: Whether the persistent backend's write-ahead log ``fsync``s every
     #: append (durability against OS crashes, at a steep wall-clock cost).
     sync_writes: bool = False
+    #: Number of hash-partitioned shards the serving layer
+    #: (:class:`~repro.serving.ShardedExecutor`) spreads the key space over.
+    #: The classic single-tree :class:`WorkloadExecutor` ignores it; 1 is the
+    #: unsharded deployment either way.
+    num_shards: int = 1
+    #: Default admission policy of incremental migration steps in adaptive
+    #: runs: ``"fixed"`` paces one step every ``migration_step_ops``
+    #: operations, ``"queue-depth"`` defers steps while the serving backlog
+    #: is deep and drains them during idle gaps (see
+    #: :mod:`repro.online.admission`).  An explicit ``OnlineConfig`` passed
+    #: to the adaptive entry points overrides this.
+    admission: str = "fixed"
 
     def __post_init__(self) -> None:
         if self.max_batch_ops <= 0:
@@ -200,6 +213,16 @@ class ExecutorConfig:
         if self.backend not in ("simulated", "persistent"):
             raise ValueError(
                 f"backend must be 'simulated' or 'persistent', got {self.backend!r}"
+            )
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        # Imported lazily: the online package builds on storage, so a
+        # module-level import would be circular.
+        from ..online.admission import ADMISSION_MODES
+
+        if self.admission not in ADMISSION_MODES:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_MODES}, got {self.admission!r}"
             )
 
 
@@ -216,20 +239,29 @@ class WorkloadExecutor:
     # ------------------------------------------------------------------
     # Database construction
     # ------------------------------------------------------------------
-    def build_tree(self, tuning: LSMTuning) -> LSMTree:
+    def build_tree(
+        self, tuning: LSMTuning, keys: np.ndarray | None = None
+    ) -> LSMTree:
         """Instantiate and bulk-load a tree for one tuning.
 
         Every tuning gets the exact same initial key set, mirroring the
-        paper's identical bulk-loading across database instances.  The
-        configured backend decides the substrate: the simulated tree lives in
-        memory, the persistent one materialises its runs as SSTable files in
-        a fresh per-tree directory.  Dispose of the tree through
-        :meth:`dispose_tree` so backend resources are released either way.
+        paper's identical bulk-loading across database instances; ``keys``
+        substitutes a subset (the serving layer loads each shard with its
+        hash partition of the key space).  The configured backend decides the
+        substrate: the simulated tree lives in memory, the persistent one
+        materialises its runs as SSTable files in a fresh per-tree directory.
+        Dispose of the tree through :meth:`dispose_tree` so backend resources
+        are released either way.  A failure while constructing or loading a
+        persistent tree removes its half-built directory before re-raising —
+        a crashed build must not leak ``tree-*`` dirs into the temp dir (or a
+        shared user ``data_dir``).
         """
         disk = VirtualDisk(
             read_latency_us=self.config.read_latency_us,
             write_latency_us=self.config.write_latency_us,
         )
+        if keys is None:
+            keys = self.key_space.existing
         if self.config.backend == "persistent":
             # Imported lazily: the simulated path stays importable even if
             # the persistent package grows platform-specific dependencies.
@@ -238,16 +270,21 @@ class WorkloadExecutor:
             if self.config.data_dir is not None:
                 os.makedirs(self.config.data_dir, exist_ok=True)
             data_dir = tempfile.mkdtemp(prefix="tree-", dir=self.config.data_dir)
-            tree = PersistentLSMTree(
-                tuning=tuning,
-                system=self.system,
-                data_dir=data_dir,
-                disk=disk,
-                sync_writes=self.config.sync_writes,
-            )
+            try:
+                tree = PersistentLSMTree(
+                    tuning=tuning,
+                    system=self.system,
+                    data_dir=data_dir,
+                    disk=disk,
+                    sync_writes=self.config.sync_writes,
+                )
+                tree.bulk_load(keys)
+            except BaseException:
+                shutil.rmtree(data_dir, ignore_errors=True)
+                raise
         else:
             tree = LSMTree(tuning=tuning, system=self.system, disk=disk)
-        tree.bulk_load(self.key_space.existing)
+            tree.bulk_load(keys)
         tree.disk.reset()
         return tree
 
@@ -404,8 +441,8 @@ class WorkloadExecutor:
         returned measurements charge adaptivity at full price.
 
         ``online`` is an :class:`~repro.online.controller.OnlineConfig`
-        (defaults apply when omitted); ``policies`` bounds what re-tunings
-        may deploy.
+        (defaults apply, with the executor's ``admission`` policy, when
+        omitted); ``policies`` bounds what re-tunings may deploy.
         """
         # Imported here so the storage layer stays loadable without the
         # online subsystem (which itself builds on storage).
@@ -417,7 +454,11 @@ class WorkloadExecutor:
             controller = OnlineLSMController(
                 tree=tree,
                 expected=sequence.expected,
-                config=online if online is not None else OnlineConfig(),
+                config=(
+                    online
+                    if online is not None
+                    else OnlineConfig(admission=self.config.admission)
+                ),
                 policies=policies,
             )
             if self.config.batch_execution:
@@ -428,10 +469,16 @@ class WorkloadExecutor:
             else:
                 execute = controller.execute
             trace = self.trace_generator()
-            measurements = tuple(
-                self._measure_session(controller.disk, execute, session, trace)
-                for session in sequence
-            )
+            measurements = []
+            for session in sequence:
+                measurements.append(
+                    self._measure_session(controller.disk, execute, session, trace)
+                )
+                # The gap between sessions is a serving lull: under
+                # queue-depth admission the controller drains deferred
+                # migration steps here, outside any session's measurement
+                # window (a no-op under the default fixed cadence).
+                controller.note_idle()
             # A migration plan still in flight at stream end is drained now,
             # as an operator would during quiescence: the trailing steps land
             # on the shared disk (after the last session's window —
@@ -442,14 +489,22 @@ class WorkloadExecutor:
             controller.finish_migration()
             return AdaptiveSequenceMeasurement(
                 tuning=tree.tuning,
-                sessions=measurements,
+                sessions=tuple(measurements),
                 final_tuning=controller.tuning,
                 events=tuple(controller.events),
             )
         finally:
             # Migrations may have swapped the live tree; dispose the one the
-            # controller currently owns.
-            self.dispose_tree(controller.tree if controller is not None else tree)
+            # controller currently owns — and, when an exception left an
+            # incremental plan in flight, the plan's half-built target tree
+            # as well (otherwise its backend directory leaks).
+            if controller is not None:
+                plan = controller.migration_plan
+                if plan is not None:
+                    self.dispose_tree(plan.target)
+                self.dispose_tree(controller.tree)
+            else:
+                self.dispose_tree(tree)
 
     def compare_adaptive(
         self,
@@ -491,6 +546,13 @@ class _SequenceTask:
     instance) keeps the task lightweight and deterministic: the key space and
     trace generator are reconstructed from the same seeds, so workers produce
     bit-identical measurements to the sequential path.
+
+    Persistent-backend hygiene across processes: each worker's tree gets its
+    own ``mkdtemp``-fresh ``tree-*`` directory (collision-free even when a
+    user-chosen ``data_dir`` is shared by every worker), ``run_sequence``
+    disposes it in ``try/finally``, and ``build_tree`` removes a half-built
+    directory if construction or bulk-loading raises — a failing worker
+    reports its exception without orphaning directories.
     """
 
     system: SystemConfig

@@ -180,10 +180,9 @@ class PersistentLSMTree(LSMTree):
         # the log from the memtable so those writes survive a crash too.
         self._wal.reset()
         buffered_keys, buffered_tombstones = self.memtable.sorted_items()
-        for key, tombstone in zip(
-            buffered_keys.tolist(), buffered_tombstones.tolist()
-        ):
-            self._wal.append(key, tombstone=tombstone)
+        self._wal.append_many(
+            zip(buffered_keys.tolist(), buffered_tombstones.tolist())
+        )
         self._collect_garbage()
 
     def install_bulk_run(self, keys: np.ndarray, level: int) -> None:

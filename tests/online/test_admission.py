@@ -1,0 +1,289 @@
+"""Migration-step admission control: the policy and its controller wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm import LSMTuning, Policy, simulator_system
+from repro.online import ADMISSION_MODES, OnlineConfig, OnlineLSMController, StepAdmission
+from repro.serving.executor import tree_fingerprint
+from repro.storage import LSMTree
+from repro.workloads import KeySpace, TraceGenerator, Workload
+
+_SYSTEM = simulator_system(num_entries=4_000)
+_KEY_SPACE = KeySpace.build(_SYSTEM.num_entries, seed=3)
+
+
+def _controller(config, expected, tuning=None):
+    tuning = tuning if tuning is not None else LSMTuning(20.0, 8.0, Policy.LEVELING)
+    tree = LSMTree(tuning, _SYSTEM)
+    tree.bulk_load(_KEY_SPACE.existing)
+    tree.disk.reset()
+    return OnlineLSMController(tree=tree, expected=expected, config=config)
+
+
+class TestStepAdmissionPolicy:
+    def test_fixed_reproduces_the_historical_cadence(self):
+        admission = StepAdmission(mode="fixed", step_ops=64)
+        for position in range(1, 400):
+            assert admission.should_step(position, 7, 0, backlog=10**6) == (
+                (position - 7) % 64 == 0
+            )
+
+    def test_queue_depth_defers_while_the_backlog_is_deep(self):
+        admission = StepAdmission(
+            mode="queue-depth", step_ops=10, max_backlog=5, starvation_ops=100
+        )
+        # Due by cadence but the queue is deep: deferred.
+        assert not admission.should_step(50, 0, 30, backlog=500)
+        # Queue drained: admitted.
+        assert admission.should_step(50, 0, 30, backlog=5)
+        # Not yet due by cadence even when idle.
+        assert not admission.should_step(35, 0, 30, backlog=0)
+        # Starvation bound overrides any backlog.
+        assert admission.should_step(130, 0, 30, backlog=10**9)
+
+    def test_idle_steps_only_under_queue_depth(self):
+        assert StepAdmission(mode="fixed", idle_step_burst=8).idle_steps == 0
+        assert (
+            StepAdmission(mode="queue-depth", idle_step_burst=3).idle_steps == 3
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(mode="asap"),
+            dict(step_ops=0),
+            dict(max_backlog=-1),
+            dict(idle_step_burst=-1),
+            dict(mode="queue-depth", step_ops=100, starvation_ops=50),
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            StepAdmission(**kwargs)
+
+    def test_fixed_mode_tolerates_small_starvation_bound(self):
+        # Pre-existing fixed configs with huge migration_step_ops must not
+        # start raising because the (unused) starvation default is smaller.
+        StepAdmission(mode="fixed", step_ops=10_000, starvation_ops=4_096)
+
+    @given(
+        mode=st.sampled_from(ADMISSION_MODES),
+        position=st.integers(min_value=0, max_value=5_000),
+        started_ago=st.integers(min_value=0, max_value=5_000),
+        stepped_ago=st.integers(min_value=0, max_value=5_000),
+        backlog=st.integers(min_value=0, max_value=10_000),
+        step_ops=st.integers(min_value=1, max_value=512),
+        max_backlog=st.integers(min_value=0, max_value=512),
+        slack=st.integers(min_value=0, max_value=4_096),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_ops_until_step_is_the_first_admitting_position(
+        self, mode, position, started_ago, stepped_ago, backlog,
+        step_ops, max_backlog, slack,
+    ):
+        """The closed form agrees with stepping one operation at a time.
+
+        This is the contract batched execution relies on: bounding a span by
+        ``ops_until_step`` can never jump over an admission the scalar loop
+        would have taken, because within a span the backlog drains by one per
+        operation and the elapsed count grows by one.
+        """
+        admission = StepAdmission(
+            mode=mode, step_ops=step_ops, max_backlog=max_backlog,
+            starvation_ops=step_ops + slack,
+        )
+        plan_started = max(0, position - started_ago)
+        last_step = max(0, position - stepped_ago)
+        k = admission.ops_until_step(position, plan_started, last_step, backlog)
+        assert k >= 1
+        for j in range(1, k):
+            assert not admission.should_step(
+                position + j, plan_started, last_step, max(0, backlog - j)
+            )
+        assert admission.should_step(
+            position + k, plan_started, last_step, max(0, backlog - k)
+        )
+
+
+class TestOnlineConfigWiring:
+    def test_step_admission_mirrors_the_config(self):
+        config = OnlineConfig(
+            migration="incremental", migration_step_ops=128,
+            admission="queue-depth", admission_max_backlog=32,
+            admission_starvation_ops=999, admission_idle_steps=2,
+        )
+        admission = config.step_admission()
+        assert admission == StepAdmission(
+            mode="queue-depth", step_ops=128, max_backlog=32,
+            starvation_ops=999, idle_step_burst=2,
+        )
+
+    def test_default_is_fixed(self):
+        assert OnlineConfig().step_admission().mode == "fixed"
+
+    def test_rejects_unknown_admission_at_construction(self):
+        with pytest.raises(ValueError):
+            OnlineConfig(admission="eager")
+
+    def test_rejects_starving_faster_than_the_cadence(self):
+        with pytest.raises(ValueError):
+            OnlineConfig(
+                admission="queue-depth", migration_step_ops=512,
+                admission_starvation_ops=256,
+            )
+
+
+_PLAN_KWARGS = dict(
+    window=150,
+    check_interval=32,
+    min_observations=64,
+    cooldown=100_000,
+    confirm_checks=1,
+    rho=0.25,
+    mode="nominal",
+    horizon_ops=100_000,
+    migration="incremental",
+    migration_step_ops=64,
+    migration_step_pages=8,
+)
+
+
+def _mid_flight_controller(**admission_kwargs):
+    """Drive a controller until an incremental plan is in flight."""
+    expected = Workload(0.49, 0.49, 0.01, 0.01)
+    config = OnlineConfig(**{**_PLAN_KWARGS, **admission_kwargs})
+    controller = _controller(config, expected)
+    trace = TraceGenerator(_KEY_SPACE, seed=9)
+    for operation in trace.operations(Workload(0.0, 0.0, 1.0, 0.0), 2_000):
+        controller.apply(operation)
+        if controller.migration_in_progress:
+            return controller
+    raise AssertionError("no migration started")
+
+
+class TestControllerAdmission:
+    def test_note_idle_is_a_no_op_under_fixed(self):
+        controller = _mid_flight_controller(admission="fixed")
+        before = controller.migration_plan.steps_completed
+        controller.note_idle()
+        assert controller.migration_plan.steps_completed == before
+
+    def test_note_idle_drains_steps_under_queue_depth(self):
+        controller = _mid_flight_controller(
+            admission="queue-depth", admission_idle_steps=2,
+        )
+        plan = controller.migration_plan
+        before = plan.steps_completed
+        controller.note_idle()
+        drained = (
+            plan.num_steps if plan.completed else plan.steps_completed
+        ) - before
+        assert 0 < drained <= 2
+
+    def test_queue_depth_defers_steps_inside_a_busy_chunk(self):
+        """Serving a deep queue, queue-depth admits fewer steps than fixed."""
+        results = {}
+        for admission in ADMISSION_MODES:
+            controller = _mid_flight_controller(
+                admission=admission, admission_max_backlog=0,
+                admission_starvation_ops=100_000,
+            )
+            trace = TraceGenerator(_KEY_SPACE, seed=31)
+            # One big busy chunk: the backlog stays deep almost throughout.
+            controller.execute(
+                trace.operations(Workload(0.0, 0.0, 1.0, 0.0), 1_500)
+            )
+            plan = controller.migration_plan
+            results[admission] = (
+                plan.num_steps if plan is None or plan.completed
+                else plan.steps_completed
+            )
+        assert results["queue-depth"] < results["fixed"]
+
+    def test_starvation_bound_keeps_the_plan_moving(self):
+        controller = _mid_flight_controller(
+            admission="queue-depth", admission_max_backlog=0,
+            admission_starvation_ops=_PLAN_KWARGS["migration_step_ops"],
+        )
+        before = controller.migration_plan.steps_completed
+        trace = TraceGenerator(_KEY_SPACE, seed=31)
+        controller.execute(
+            trace.operations(Workload(0.0, 0.0, 1.0, 0.0), 1_500)
+        )
+        plan = controller.migration_plan
+        after = plan.num_steps if plan is None or plan.completed else plan.steps_completed
+        assert after > before
+
+
+class TestBatchedAdmissionParity:
+    """Satellite: ``execute_batched`` boundary math under both policies.
+
+    Scalar and batched execution of the same drifting stream must observe
+    the same drift, fire the same retunings, advance the same migration
+    steps at the same positions, and leave bit-identical trees and disks.
+    """
+
+    def _drifting_stream(self, seed, length):
+        trace = TraceGenerator(_KEY_SPACE, seed=seed)
+        calm = trace.operations(Workload(0.55, 0.25, 0.05, 0.15), length // 2)
+        drift = trace.operations(Workload(0.05, 0.05, 0.05, 0.85), length - length // 2)
+        return calm + drift
+
+    def _run(self, batched, admission, seed, length, max_batch_ops=4_096):
+        expected = Workload(0.55, 0.25, 0.05, 0.15)
+        config = OnlineConfig(**{
+            **_PLAN_KWARGS,
+            "cooldown": 256,
+            "confirm_checks": 2,
+            "admission": admission,
+            "admission_max_backlog": 16,
+            "admission_starvation_ops": 512,
+            "admission_idle_steps": 4,
+        })
+        controller = _controller(config, expected)
+        operations = self._drifting_stream(seed, length)
+        if batched:
+            controller.execute_batched(operations, max_batch_ops=max_batch_ops)
+        else:
+            controller.execute(operations)
+        return controller
+
+    @pytest.mark.parametrize("admission", ADMISSION_MODES)
+    def test_batched_matches_scalar_through_retune_and_migration(
+        self, admission
+    ):
+        scalar = self._run(False, admission, seed=11, length=6_000)
+        batched = self._run(True, admission, seed=11, length=6_000)
+        assert scalar.num_migrations >= 1  # the stream does exercise a plan
+        assert batched.events == scalar.events
+        assert batched.position == scalar.position
+        assert batched.disk.counters == scalar.disk.counters
+        assert batched.tuning == scalar.tuning
+        assert tree_fingerprint(batched.tree) == tree_fingerprint(scalar.tree)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=40),
+        length=st.integers(min_value=500, max_value=2_500),
+        max_batch_ops=st.sampled_from([7, 64, 4_096]),
+        admission=st.sampled_from(ADMISSION_MODES),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_parity_holds_across_random_streams(
+        self, seed, length, max_batch_ops, admission
+    ):
+        scalar = self._run(False, admission, seed, length)
+        batched = self._run(
+            True, admission, seed, length, max_batch_ops=max_batch_ops
+        )
+        assert batched.events == scalar.events
+        assert batched.disk.counters == scalar.disk.counters
+        assert np.array_equal(
+            batched.observed_workload().as_array(),
+            scalar.observed_workload().as_array(),
+        )
+        assert tree_fingerprint(batched.tree) == tree_fingerprint(scalar.tree)

@@ -1,0 +1,235 @@
+"""The sharded serving layer: bit-identity, merging, pooling, disposal."""
+
+from __future__ import annotations
+
+import tempfile
+
+import pytest
+
+from repro.lsm import LSMTuning, Policy, simulator_system
+from repro.online import OnlineConfig
+from repro.serving import (
+    ShardedComparison,
+    ShardedExecutor,
+    fleet_percentiles,
+    format_sharded_comparison,
+)
+from repro.serving.executor import tree_fingerprint
+from repro.serving.sharding import partition_keys
+from repro.storage import ExecutorConfig, WorkloadExecutor
+from repro.workloads import SessionGenerator, UncertaintyBenchmark, Workload
+
+_SYSTEM = simulator_system(num_entries=4_000)
+_TUNING = LSMTuning(size_ratio=5.0, bits_per_entry=5.0, policy=Policy.LEVELING)
+_EXPECTED = Workload(z0=0.25, z1=0.55, q=0.05, w=0.15)
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    generator = SessionGenerator(UncertaintyBenchmark(size=200, seed=13), seed=13)
+    return generator.paper_sequence(_EXPECTED, workloads_per_session=1)
+
+
+def _config(**kwargs) -> ExecutorConfig:
+    base = dict(queries_per_workload=250, seed=17)
+    base.update(kwargs)
+    return ExecutorConfig(**base)
+
+
+class TestSingleShardBitIdentity:
+    """num_shards=1 must reproduce the classic executor byte for byte."""
+
+    def test_static_sessions_match_unsharded(self, sequence):
+        base = WorkloadExecutor(_SYSTEM, _config()).run_sequence(_TUNING, sequence)
+        one = ShardedExecutor(_SYSTEM, _config()).run_sequence(_TUNING, sequence)
+        assert one.num_shards == 1
+        assert one.sessions == base.sessions
+        assert one.average_ios_per_query == base.average_ios_per_query
+        assert one.average_latency_us == base.average_latency_us
+
+    def test_static_final_state_matches_scalar_replay(self, sequence):
+        one = ShardedExecutor(_SYSTEM, _config()).run_sequence(_TUNING, sequence)
+        executor = WorkloadExecutor(_SYSTEM, _config())
+        tree = executor.build_tree(_TUNING)
+        trace = executor.trace_generator()
+        for session in sequence:
+            for workload in session.workloads:
+                for op in trace.operations(workload, 250):
+                    tree.apply(op)
+        assert one.shards[0].fingerprint == tree_fingerprint(tree)
+        assert one.shards[0].stats == tree.stats()
+
+    @pytest.mark.parametrize("admission", ["fixed", "queue-depth"])
+    def test_adaptive_run_matches_unsharded(self, sequence, admission):
+        online = OnlineConfig(
+            window=400, check_interval=64, min_observations=128, cooldown=512,
+            confirm_checks=2, mode="nominal", horizon_ops=12_000,
+            migration="incremental", migration_step_ops=32,
+            migration_step_pages=8, admission=admission,
+        )
+        base = WorkloadExecutor(_SYSTEM, _config()).run_sequence_adaptive(
+            _TUNING, sequence, online=online
+        )
+        one = ShardedExecutor(_SYSTEM, _config()).run_sequence_adaptive(
+            _TUNING, sequence, online=online
+        )
+        shard = one.shards[0].measurement
+        assert shard.sessions == base.sessions
+        assert shard.events == base.events
+        assert shard.final_tuning == base.final_tuning
+        assert one.sessions == base.sessions
+
+
+class TestShardedRuns:
+    def test_shard_trees_load_the_hash_partition(self, sequence):
+        runs = ShardedExecutor(_SYSTEM, _config(num_shards=3)).run_sequence(
+            _TUNING, sequence
+        ).shards
+        parts = partition_keys(
+            WorkloadExecutor(_SYSTEM, _config()).key_space.existing, 3
+        )
+        assert len(runs) == 3
+        # Entry counts reflect the partition plus this shard's writes.
+        for run, part in zip(runs, parts):
+            assert run.stats.num_entries >= part.size
+
+    def test_merged_sessions_sum_shard_counters(self, sequence):
+        measurement = ShardedExecutor(_SYSTEM, _config(num_shards=4)).run_sequence(
+            _TUNING, sequence
+        )
+        for index, merged in enumerate(measurement.sessions):
+            parts = [run.measurement.sessions[index] for run in measurement.shards]
+            for field in (
+                "query_reads", "query_writes", "flush_writes",
+                "compaction_reads", "compaction_writes",
+            ):
+                assert getattr(merged, field) == sum(
+                    getattr(p, field) for p in parts
+                )
+            # The merged query count is the *global* stream's (ranges counted
+            # once), so it is bounded by the per-shard sum that double-counts
+            # fanned-out scans.
+            assert merged.num_queries == 250
+            assert sum(p.num_queries for p in parts) >= merged.num_queries
+
+    def test_batched_and_scalar_shard_replay_agree(self, sequence):
+        """Coalescing GET spans across range scans is bit-identical."""
+        batched = ShardedExecutor(
+            _SYSTEM, _config(num_shards=2, batch_execution=True)
+        ).run_sequence(_TUNING, sequence)
+        scalar = ShardedExecutor(
+            _SYSTEM, _config(num_shards=2, batch_execution=False)
+        ).run_sequence(_TUNING, sequence)
+        assert batched.sessions == scalar.sessions
+        for fast, slow in zip(batched.shards, scalar.shards):
+            assert fast.measurement.sessions == slow.measurement.sessions
+            assert fast.fingerprint == slow.fingerprint
+
+    def test_parallel_pool_matches_sequential(self, sequence):
+        config = _config(num_shards=2)
+        sequential = ShardedExecutor(_SYSTEM, config).run_sequence(
+            _TUNING, sequence
+        )
+        pooled = ShardedExecutor(_SYSTEM, config).run_sequence(
+            _TUNING, sequence, parallel=True, processes=2
+        )
+        assert pooled.sessions == sequential.sessions
+        for a, b in zip(pooled.shards, sequential.shards):
+            assert a.measurement == b.measurement
+            assert a.fingerprint == b.fingerprint
+
+    def test_wall_clock_views(self, sequence):
+        measurement = ShardedExecutor(_SYSTEM, _config(num_shards=2)).run_sequence(
+            _TUNING, sequence
+        )
+        per_shard = [run.elapsed_s for run in measurement.shards]
+        assert measurement.critical_path_s == max(per_shard)
+        assert measurement.total_cpu_s == pytest.approx(sum(per_shard))
+
+
+class TestPersistentSharding:
+    def test_each_shard_gets_its_own_data_dir(self, sequence, tmp_path):
+        config = _config(
+            num_shards=2, backend="persistent", data_dir=str(tmp_path / "fleet")
+        )
+        ShardedExecutor(_SYSTEM, config).run_sequence(_TUNING, sequence)
+        shard_dirs = sorted(p.name for p in (tmp_path / "fleet").iterdir())
+        assert shard_dirs == ["shard-00", "shard-01"]
+        for name in shard_dirs:
+            kept = list((tmp_path / "fleet" / name).glob("tree-*"))
+            assert len(kept) == 1  # user-chosen dirs keep trees for inspection
+
+    def test_temp_dir_shards_are_disposed(self, sequence, tmp_path, monkeypatch):
+        monkeypatch.setenv("TMPDIR", str(tmp_path))
+        monkeypatch.setattr(tempfile, "tempdir", None)
+        config = _config(num_shards=2, backend="persistent")
+        measurement = ShardedExecutor(_SYSTEM, config).run_sequence(
+            _TUNING, sequence
+        )
+        assert measurement.num_shards == 2
+        assert list(tmp_path.iterdir()) == []
+
+    def test_persistent_matches_simulated_counters(self, sequence):
+        simulated = ShardedExecutor(_SYSTEM, _config(num_shards=2)).run_sequence(
+            _TUNING, sequence
+        )
+        persistent = ShardedExecutor(
+            _SYSTEM, _config(num_shards=2, backend="persistent")
+        ).run_sequence(_TUNING, sequence)
+        assert simulated.sessions == persistent.sessions
+        for a, b in zip(simulated.shards, persistent.shards):
+            assert a.measurement == b.measurement
+            assert a.fingerprint == b.fingerprint
+
+
+class TestFleetViews:
+    def test_fleet_percentiles(self):
+        pct = fleet_percentiles([1.0, 2.0, 3.0, 10.0])
+        assert pct["p50"] == pytest.approx(2.5)
+        assert pct["worst"] == 10.0
+        assert pct["p95"] <= pct["worst"]
+        assert fleet_percentiles([]) == {"p50": 0.0, "p95": 0.0, "worst": 0.0}
+
+    def test_comparison_summary_format_and_json(self, sequence):
+        executor = ShardedExecutor(_SYSTEM, _config(num_shards=2))
+        tunings = {
+            "nominal": _TUNING,
+            "robust": LSMTuning(8.0, 6.0, Policy.TIERING),
+        }
+        comparison = ShardedComparison(
+            expected=_EXPECTED,
+            rho=0.25,
+            num_shards=2,
+            tunings=tunings,
+            measurements=executor.compare(tunings, sequence),
+        )
+        summary = comparison.summary()
+        assert set(summary) == {"nominal", "robust"}
+        assert all(value > 0 for value in summary.values())
+        payload = comparison.to_dict()
+        assert payload["num_shards"] == 2
+        assert set(payload["results"]) == {"nominal", "robust"}
+        assert len(payload["results"]["nominal"]["shard_ios"]) == 2
+        text = format_sharded_comparison(comparison)
+        assert "shards=2" in text
+        assert "fleet io/q" in text
+        assert "wall-clock critical-path=" in text
+
+    def test_worst_shard_session_ios(self, sequence):
+        measurement = ShardedExecutor(_SYSTEM, _config(num_shards=2)).run_sequence(
+            _TUNING, sequence
+        )
+        worst = measurement.worst_shard_session_ios()
+        assert worst >= max(
+            run.measurement.average_ios_per_query for run in measurement.shards
+        )
+
+
+class TestConfigValidation:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            ExecutorConfig(num_shards=0)
+
+    def test_rejects_unknown_admission(self):
+        with pytest.raises(ValueError, match="admission"):
+            ExecutorConfig(admission="asap")

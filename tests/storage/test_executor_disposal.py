@@ -1,0 +1,169 @@
+"""Persistent-backend hygiene on exception and parallel paths.
+
+Every tree the executor builds must be released exactly once, even when a
+session raises mid-run, a bulk load crashes half way, an incremental
+migration is in flight, or the run is fanned out over a process pool.  A
+leaked ``tree-*`` directory in the system temp dir is a regression.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import pytest
+
+from repro.lsm import LSMTuning, Policy, simulator_system
+from repro.online import OnlineConfig, OnlineLSMController
+from repro.storage import ExecutorConfig, WorkloadExecutor
+from repro.storage.persistent import PersistentLSMTree
+from repro.workloads import Session, SessionSequence, SessionType, Workload
+
+_SYSTEM = simulator_system(num_entries=2_000)
+_TUNING = LSMTuning(size_ratio=5.0, bits_per_entry=5.0, policy=Policy.LEVELING)
+
+
+def _sequence(workload: Workload, sessions: int = 2) -> SessionSequence:
+    session = Session(
+        session_type=SessionType.WRITE, label="w", workloads=(workload,)
+    )
+    return SessionSequence(
+        expected=Workload(z0=0.45, z1=0.45, q=0.05, w=0.05),
+        sessions=(session,) * sessions,
+    )
+
+
+@pytest.fixture
+def private_tmp(tmp_path, monkeypatch):
+    """Redirect mkdtemp into an inspectable, initially empty directory."""
+    monkeypatch.setenv("TMPDIR", str(tmp_path))
+    monkeypatch.setattr(tempfile, "tempdir", None)
+    return tmp_path
+
+
+def _persistent_executor(**kwargs) -> WorkloadExecutor:
+    config = ExecutorConfig(
+        queries_per_workload=150, seed=11, backend="persistent", **kwargs
+    )
+    return WorkloadExecutor(_SYSTEM, config)
+
+
+class TestBuildTreeFailure:
+    def test_failed_bulk_load_removes_the_half_built_dir(
+        self, private_tmp, monkeypatch
+    ):
+        def explode(self, keys):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(PersistentLSMTree, "bulk_load", explode)
+        with pytest.raises(RuntimeError, match="disk full"):
+            _persistent_executor().build_tree(_TUNING)
+        assert list(private_tmp.iterdir()) == []
+
+    def test_failed_bulk_load_cleans_a_user_data_dir_too(
+        self, tmp_path, monkeypatch
+    ):
+        def explode(self, keys):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(PersistentLSMTree, "bulk_load", explode)
+        executor = _persistent_executor(data_dir=str(tmp_path / "db"))
+        with pytest.raises(RuntimeError):
+            executor.build_tree(_TUNING)
+        assert list((tmp_path / "db").glob("tree-*")) == []
+
+
+class TestMidRunDisposal:
+    def test_run_sequence_disposes_on_a_mid_session_crash(
+        self, private_tmp, monkeypatch
+    ):
+        state = {"puts": 0}
+        original = PersistentLSMTree.put
+
+        def poisoned(self, key):
+            state["puts"] += 1
+            if state["puts"] > 40:
+                raise RuntimeError("injected put failure")
+            return original(self, key)
+
+        monkeypatch.setattr(PersistentLSMTree, "put", poisoned)
+        executor = _persistent_executor()
+        with pytest.raises(RuntimeError, match="injected put failure"):
+            executor.run_sequence(_TUNING, _sequence(Workload(0, 0, 0, 1.0)))
+        assert state["puts"] > 40  # the crash happened mid-session
+        assert list(private_tmp.iterdir()) == []
+
+    def test_adaptive_run_disposes_a_mid_flight_migration_target(
+        self, private_tmp, monkeypatch
+    ):
+        """A crash while a plan is in flight must release *both* trees."""
+        saw_plan = []
+        original = OnlineLSMController.execute
+
+        def poisoned(self, operations):
+            original(self, operations)
+            if self.migration_in_progress:
+                saw_plan.append(True)
+                raise RuntimeError("crashed while migrating")
+
+        monkeypatch.setattr(OnlineLSMController, "execute", poisoned)
+        executor = _persistent_executor(batch_execution=False)
+        online = OnlineConfig(
+            window=150, check_interval=32, min_observations=64,
+            cooldown=100_000, confirm_checks=1, rho=0.25, mode="nominal",
+            horizon_ops=100_000, migration="incremental",
+            migration_step_ops=10**6, migration_step_pages=8,
+        )
+        with pytest.raises(RuntimeError, match="crashed while migrating"):
+            executor.run_sequence_adaptive(
+                _TUNING,
+                _sequence(Workload(0, 0, 1.0, 0), sessions=6),
+                online=online,
+            )
+        assert saw_plan  # the injected crash really hit an in-flight plan
+        assert list(private_tmp.iterdir()) == []
+
+
+class TestParallelCompareHygiene:
+    """The ``compare(parallel=True)`` × persistent-backend regression."""
+
+    _TUNINGS = {
+        "nominal": _TUNING,
+        "robust": LSMTuning(8.0, 6.0, Policy.TIERING),
+    }
+
+    def test_parallel_compare_leaves_no_orphan_tree_dirs(self, private_tmp):
+        executor = _persistent_executor()
+        sequence = _sequence(Workload(0.3, 0.3, 0.1, 0.3))
+        results = executor.compare(
+            self._TUNINGS, sequence, parallel=True, processes=2
+        )
+        assert set(results) == set(self._TUNINGS)
+        assert list(private_tmp.iterdir()) == []
+
+    def test_parallel_matches_sequential_measurements(self, private_tmp):
+        sequence = _sequence(Workload(0.3, 0.3, 0.1, 0.3))
+        sequential = _persistent_executor().compare(self._TUNINGS, sequence)
+        parallel = _persistent_executor().compare(
+            self._TUNINGS, sequence, parallel=True, processes=2
+        )
+        assert parallel == sequential
+
+    def test_shared_user_data_dir_keeps_one_tree_per_worker(self, tmp_path):
+        executor = _persistent_executor(data_dir=str(tmp_path / "shared"))
+        sequence = _sequence(Workload(0.3, 0.3, 0.1, 0.3))
+        executor.compare(self._TUNINGS, sequence, parallel=True, processes=2)
+        kept = list((tmp_path / "shared").glob("tree-*"))
+        assert len(kept) == 2  # mkdtemp names are collision-free across workers
+
+    def test_failing_worker_does_not_orphan_directories(
+        self, private_tmp, monkeypatch
+    ):
+        def explode(self, keys):
+            raise RuntimeError("worker down")
+
+        monkeypatch.setattr(PersistentLSMTree, "bulk_load", explode)
+        executor = _persistent_executor()
+        sequence = _sequence(Workload(0.3, 0.3, 0.1, 0.3))
+        with pytest.raises(RuntimeError, match="worker down"):
+            executor.compare(self._TUNINGS, sequence, parallel=True, processes=2)
+        assert list(private_tmp.iterdir()) == []

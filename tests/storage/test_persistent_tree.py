@@ -292,6 +292,64 @@ class TestWriteAheadLog:
         assert wal.replay() == [(5, True)]
         wal.close()
 
+    _GROUP = [(7, False), (-3, True), (2**40, False), (0, False), (12, True)]
+
+    def test_append_many_is_byte_identical_to_repeated_append(self, tmp_path):
+        scalar = WriteAheadLog(tmp_path / "scalar.log")
+        for key, tombstone in self._GROUP:
+            scalar.append(key, tombstone)
+        grouped = WriteAheadLog(tmp_path / "grouped.log")
+        grouped.append_many(self._GROUP)
+        scalar.close()
+        grouped.close()
+        assert (tmp_path / "grouped.log").read_bytes() == (
+            tmp_path / "scalar.log"
+        ).read_bytes()
+        replayed = WriteAheadLog(tmp_path / "grouped.log")
+        assert replayed.replay() == self._GROUP
+        replayed.close()
+
+    def test_append_many_of_nothing_is_a_no_op(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log", sync=True)
+        wal.append_many([])
+        assert wal.replay() == []
+        assert (tmp_path / "wal.log").stat().st_size == 0
+        wal.close()
+
+    def test_crash_mid_group_keeps_the_complete_prefix(self, tmp_path):
+        """A torn group commit must replay every record before the tear."""
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append_many(self._GROUP)
+        wal.close()
+        record_size = 9  # struct "<qB"
+        data = path.read_bytes()
+        assert len(data) == record_size * len(self._GROUP)
+        path.write_bytes(data[: 3 * record_size + 4])  # tear inside record 4
+        torn = WriteAheadLog(path)
+        assert torn.replay() == self._GROUP[:3]
+        # The log stays appendable after a torn tail was truncated away.
+        torn.append(99)
+        assert torn.replay() == self._GROUP[:3] + [(99, False)]
+        torn.close()
+
+    def test_append_many_pays_a_single_fsync(self, tmp_path, monkeypatch):
+        syncs = {"count": 0}
+        real_fsync = os.fsync
+
+        def counting_fsync(fd):
+            syncs["count"] += 1
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", counting_fsync)
+        wal = WriteAheadLog(tmp_path / "wal.log", sync=True)
+        wal.append_many(self._GROUP)
+        assert syncs["count"] == 1
+        for key, tombstone in self._GROUP:
+            wal.append(key, tombstone)
+        assert syncs["count"] == 1 + len(self._GROUP)
+        wal.close()
+
 
 class TestSSTable:
     """The on-disk table answers exactly like an in-memory sorted run."""

@@ -588,3 +588,61 @@ class TestBatchExecutionFlags:
         assert main(argv + ["--no-batch-execution"]) == 0
         scalar = json.loads(capsys.readouterr().out)
         assert batched == scalar
+
+
+class TestServingFlags:
+    """--num-shards on compare, --admission on online."""
+
+    def test_defaults(self):
+        assert build_parser().parse_args(["compare"]).num_shards == 1
+        args = build_parser().parse_args(["online"])
+        assert args.admission == "fixed"
+        assert args.admission_max_backlog == 256
+        assert args.admission_starvation_ops == 4096
+        assert args.admission_idle_steps == 8
+
+    def test_num_shards_rejects_non_positive(self):
+        for bad in ("0", "-2", "1.5"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["compare", "--num-shards", bad])
+
+    def test_online_rejects_unknown_admission(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["online", "--admission", "eager"])
+
+    def test_compare_with_shards_prints_the_fleet_table(self, capsys):
+        out = _run_main(
+            capsys,
+            ["compare", "--expected-index", "11", "--num-entries", "4000",
+             "--seed", "7", "--num-shards", "2"],
+        )
+        assert "shards=2" in out
+        assert "fleet io/q" in out
+        assert "wall-clock critical-path=" in out
+
+    def test_compare_with_shards_emits_json(self, capsys):
+        payload = json.loads(_run_main(
+            capsys,
+            ["compare", "--expected-index", "11", "--num-entries", "4000",
+             "--seed", "7", "--num-shards", "2", "--json"],
+        ))
+        assert payload["num_shards"] == 2
+        for result in payload["results"].values():
+            assert len(result["shard_ios"]) == 2
+            assert {"p50", "p95", "worst"} <= set(result["shard_percentiles"])
+
+    def test_online_runs_under_queue_depth_admission(self, capsys):
+        payload = json.loads(_run_main(
+            capsys,
+            _ONLINE_SMOKE_ARGS + [
+                "--migration", "incremental",
+                "--migration-step-ops", "64",
+                "--migration-step-pages", "16",
+                "--admission", "queue-depth",
+                "--admission-max-backlog", "32",
+                "--admission-starvation-ops", "512",
+                "--admission-idle-steps", "4",
+                "--json",
+            ],
+        ))
+        assert "sessions" in payload and "events" in payload
